@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating every experiment in DESIGN.md's index."""

@@ -1,0 +1,44 @@
+"""E11 — construction cost: the scheme is polynomial-time constructible.
+
+Times the full preprocessing (decomposition + landmarks + both strategies +
+fallback) for growing n, and records the routing throughput of the built
+scheme so the preprocessing/online split is visible.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.scheme import AGMRoutingScheme
+from repro.experiments.workloads import make_workload
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.simulator import RoutingSimulator
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n", [32, 64, 96])
+def test_e11_construction(benchmark, agm_params, quick, n):
+    if not quick:
+        n *= 2
+    graph = make_workload("erdos-renyi", n, seed=71)
+    oracle = DistanceOracle(graph)
+
+    def build():
+        return AGMRoutingScheme.build(graph, k=2, params=agm_params, oracle=oracle, seed=3)
+
+    scheme = benchmark.pedantic(build, rounds=1, iterations=1)
+    simulator = RoutingSimulator(graph, oracle=oracle)
+    start = time.perf_counter()
+    report = simulator.evaluate(scheme, num_pairs=60, seed=5)
+    routing_seconds = time.perf_counter() - start
+    assert report.failures == 0
+    record(
+        benchmark,
+        experiment="E11",
+        n=graph.n,
+        m=graph.num_edges,
+        max_table_bits=report.max_table_bits,
+        max_stretch=round(report.max_stretch, 2),
+        routes_per_second=round(60 / routing_seconds, 1),
+    )

@@ -1,0 +1,38 @@
+"""E2 — the Section 1.3 comparison: AGM vs the five baselines on one workload."""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.factory import build_scheme
+
+SCHEMES = ["shortest-path", "cowen", "thorup-zwick", "awerbuch-peleg", "exponential", "agm"]
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+def test_e2_comparison(benchmark, bench_graph, bench_oracle, bench_simulator,
+                       agm_params, scheme_name):
+    k = 3
+    kwargs = {"params": agm_params} if scheme_name == "agm" else {}
+
+    def build_and_evaluate():
+        scheme = build_scheme(scheme_name, bench_graph, k=k, seed=23,
+                              oracle=bench_oracle, **kwargs)
+        report = bench_simulator.evaluate(scheme, num_pairs=80, seed=7)
+        return scheme, report
+
+    scheme, report = benchmark.pedantic(build_and_evaluate, rounds=1, iterations=1)
+    assert report.failures == 0
+    record(
+        benchmark,
+        experiment="E2",
+        scheme=scheme_name,
+        labeled=scheme.labeled,
+        k=k,
+        max_stretch=round(report.max_stretch, 3),
+        avg_stretch=round(report.avg_stretch, 3),
+        max_table_bits=report.max_table_bits,
+        avg_table_bits=round(report.avg_table_bits),
+        max_label_bits=report.max_label_bits,
+        header_bits=report.max_header_bits,
+    )

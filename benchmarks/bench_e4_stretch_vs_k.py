@@ -1,0 +1,35 @@
+"""E4 — stretch growth in k: AGM (linear) vs the prior scale-free family (super-linear)."""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.factory import build_scheme
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("scheme_name", ["agm", "exponential"])
+def test_e4_stretch_vs_k(benchmark, bench_graph, bench_oracle, bench_simulator,
+                         agm_params, quick, scheme_name):
+    ks = [1, 2, 3] if quick else [1, 2, 3, 4, 5]
+
+    def sweep():
+        rows = []
+        for k in ks:
+            kwargs = {"params": agm_params} if scheme_name == "agm" else {}
+            scheme = build_scheme(scheme_name, bench_graph, k=k, seed=31,
+                                  oracle=bench_oracle, **kwargs)
+            report = bench_simulator.evaluate(scheme, num_pairs=70, seed=9)
+            rows.append((k, report))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(report.failures == 0 for _, report in rows)
+    record(
+        benchmark,
+        experiment="E4",
+        scheme=scheme_name,
+        ks=ks,
+        max_stretch=[round(r.max_stretch, 2) for _, r in rows],
+        avg_stretch=[round(r.avg_stretch, 2) for _, r in rows],
+        max_table_bits=[r.max_table_bits for _, r in rows],
+    )

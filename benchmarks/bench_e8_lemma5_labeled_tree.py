@@ -1,0 +1,41 @@
+"""E8 — Lemma 5: labeled tree routing (stretch 1, compact tables, short labels)."""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.analysis import lemma5_label_bits, lemma5_table_bits
+from repro.graphs.generators import random_tree_graph
+from repro.graphs.shortest_paths import shortest_path_tree
+from repro.trees.compact_labeled import CompactTreeRouting
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_e8_lemma5_routing(benchmark, quick, k):
+    m = 150 if quick else 500
+    graph = random_tree_graph(m, seed=51)
+    tree = shortest_path_tree(graph, 0)
+    routing = CompactTreeRouting(tree, k=k)
+    pairs = [(tree.nodes[i], tree.nodes[-1 - i]) for i in range(0, tree.size // 2,
+                                                                max(tree.size // 60, 1))]
+
+    def route_all():
+        return [routing.walk(s, t) for s, t in pairs]
+
+    walks = benchmark(route_all)
+    for (s, t), (path, cost) in zip(pairs, walks):
+        assert path[-1] == t
+        assert cost == pytest.approx(tree.tree_distance(s, t))
+    record(
+        benchmark,
+        experiment="E8",
+        tree_size=tree.size,
+        k=k,
+        routes=len(pairs),
+        stretch=1.0,
+        max_table_bits=routing.max_table_bits(),
+        table_bound=round(lemma5_table_bits(tree.size, k, constant=16.0)),
+        max_label_bits=routing.max_label_bits(),
+        label_bound=round(lemma5_label_bits(tree.size, k, constant=8.0)),
+        max_light_edges=routing.max_light_edges(),
+    )

@@ -1,0 +1,39 @@
+"""E9 — Lemma 6: tree-cover construction (cover, sparsity, radius, edge bounds)."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.analysis import lemma6_membership
+from repro.covers.tree_cover import build_tree_cover
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("k", [2, 3])
+def test_e9_lemma6_cover(benchmark, bench_graph, bench_oracle, k):
+    rho = bench_oracle.diameter() / 8
+
+    def build():
+        return build_tree_cover(bench_graph, k, rho, oracle=bench_oracle)
+
+    cover = benchmark.pedantic(build, rounds=1, iterations=1)
+    covered = all(cover.covers_ball(v, bench_oracle) for v in range(bench_graph.n))
+    record(
+        benchmark,
+        experiment="E9",
+        n=bench_graph.n,
+        k=k,
+        rho=round(rho, 3),
+        num_trees=len(cover.trees),
+        cover_property=covered,
+        max_membership=cover.max_membership(),
+        membership_bound=round(lemma6_membership(bench_graph.n, k)),
+        max_radius_over_rho=round(cover.max_radius() / rho, 2),
+        radius_bound_over_rho=2 * k + 3,
+        max_edge_over_rho=round(cover.max_edge() / rho, 2),
+    )
+    assert covered
+    assert cover.max_radius() <= (2 * k + 3) * rho + 1e-9
+    assert cover.max_edge() <= 2 * rho + 1e-9
+    assert cover.max_membership() <= 4 * k * math.ceil(bench_graph.n ** (1 / k)) + 4

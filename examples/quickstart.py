@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: build the AGM scale-free routing scheme and route a few messages.
+
+Run with ``python examples/quickstart.py``.  Every step uses only the public
+API re-exported from :mod:`repro`.
+"""
+
+from repro import AGMParams, AGMRoutingScheme, RoutingSimulator
+from repro.graphs.generators import random_geometric_graph
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    # 1. a weighted network with arbitrary (adversarial) node names
+    graph = random_geometric_graph(72, seed=7)
+    print(f"network: {graph.n} nodes, {graph.num_edges} edges, "
+          f"max degree {graph.max_degree()}")
+
+    # 2. preprocess the routing scheme (k controls the space-stretch trade-off)
+    scheme = AGMRoutingScheme.build(graph, k=2, params=AGMParams.experiment(), seed=1)
+    print(f"per-node routing tables: max {scheme.max_table_bits()} bits "
+          f"({scheme.max_table_bits() / 8 / 1024:.1f} KiB), "
+          f"avg {scheme.avg_table_bits():.0f} bits")
+    print(f"message headers: {scheme.header_bits()} bits")
+
+    # 3. route a single message by destination *name* (name-independent model)
+    source, destination = 3, 41
+    result = scheme.route(source, graph.name_of(destination))
+    shortest = RoutingSimulator(graph).oracle.dist(source, destination)
+    print(f"routed {source} -> {destination}: found={result.found}, "
+          f"cost={result.cost:.1f}, shortest={shortest:.1f}, "
+          f"stretch={result.cost / shortest:.2f}, strategy={result.strategy}")
+
+    # 4. evaluate stretch statistics over many random pairs
+    simulator = RoutingSimulator(graph)
+    report = simulator.evaluate(scheme, num_pairs=200, seed=3)
+    print(format_table([report.as_dict()],
+                       columns=["scheme", "n", "num_pairs", "max_stretch", "avg_stretch",
+                                "median_stretch", "failures", "max_table_bits"],
+                       title="routing quality"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has no ``wheel`` package available
+(offline), so editable installs go through the legacy ``setup.py develop``
+path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

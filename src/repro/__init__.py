@@ -1,0 +1,50 @@
+"""repro — reproduction of *On Space-Stretch Trade-Offs: Upper Bounds*.
+
+Abraham, Gavoille, Malkhi (SPAA 2006) construct, for every integer ``k >= 1``,
+a *scale-free name-independent* compact routing scheme with stretch ``O(k)``
+and ``~O(n^{1/k})``-bit routing tables whose size is independent of the
+network's aspect ratio.
+
+The public API is intentionally small:
+
+``WeightedGraph``
+    The weighted, undirected, arbitrarily-named network model.
+``AGMRoutingScheme`` / ``AGMParams``
+    The paper's routing scheme (Theorem 1) and its tunable constants.
+``RoutingSimulator``
+    Hop-by-hop execution of any scheme, measuring stretch and cost.
+``build_scheme``
+    Convenience constructor dispatching on a scheme name ("agm",
+    "shortest-path", "cowen", "thorup-zwick", "awerbuch-peleg",
+    "exponential").
+
+Example
+-------
+>>> from repro import WeightedGraph, AGMRoutingScheme, RoutingSimulator
+>>> from repro.graphs.generators import random_geometric_graph
+>>> g = random_geometric_graph(64, seed=0)
+>>> scheme = AGMRoutingScheme.build(g, k=2, seed=1)
+>>> sim = RoutingSimulator(g)
+>>> report = sim.evaluate(scheme, num_pairs=100, seed=2)
+>>> report.max_stretch >= 1.0
+True
+"""
+
+from repro.graphs.graph import WeightedGraph
+from repro.core.params import AGMParams
+from repro.core.scheme import AGMRoutingScheme
+from repro.routing.simulator import RoutingSimulator
+from repro.routing.messages import RouteResult
+from repro.factory import build_scheme
+
+__all__ = [
+    "WeightedGraph",
+    "AGMParams",
+    "AGMRoutingScheme",
+    "RoutingSimulator",
+    "RouteResult",
+    "build_scheme",
+    "__version__",
+]
+
+__version__ = "1.0.0"

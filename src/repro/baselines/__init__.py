@@ -1,0 +1,29 @@
+"""Baseline routing schemes the paper compares against (Sections 1 and 1.3).
+
+* :class:`ShortestPathRouting` — the trivial stretch-1 solution with
+  ``Ω(n log n)``-bit tables (§1).
+* :class:`CowenRouting` — the classic stretch-3 *labeled* scheme
+  (Cowen [13] / Thorup–Zwick [29]).
+* :class:`ThorupZwickRouting` — the labeled ``Õ(n^{1/k})``-space hierarchy
+  with stretch ``4k-5`` [29, 30].
+* :class:`AwerbuchPelegRouting` — name-independent hierarchical routing with
+  sparse covers at *every* scale ``2^i`` for ``i <= log Δ`` [9, 10, 3]:
+  stretch ``O(k)`` but space growing with ``log Δ`` (not scale-free).
+* :class:`ExponentialStretchRouting` — a representative of the prior
+  scale-free random-sampling schemes [7, 8, 6] whose stretch grows
+  super-linearly in ``k``.
+"""
+
+from repro.baselines.shortest_path import ShortestPathRouting
+from repro.baselines.cowen import CowenRouting
+from repro.baselines.thorup_zwick import ThorupZwickRouting
+from repro.baselines.awerbuch_peleg import AwerbuchPelegRouting
+from repro.baselines.exponential_stretch import ExponentialStretchRouting
+
+__all__ = [
+    "ShortestPathRouting",
+    "CowenRouting",
+    "ThorupZwickRouting",
+    "AwerbuchPelegRouting",
+    "ExponentialStretchRouting",
+]

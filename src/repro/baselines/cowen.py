@@ -1,0 +1,162 @@
+"""Cowen-style stretch-3 labeled routing ([13], improved by Thorup–Zwick [29]).
+
+Construction:
+
+* a landmark set ``A`` is sampled (each node independently with probability
+  ``~ sqrt(ln n / n)``, re-drawn if empty);
+* every node ``v`` has a home landmark ``l(v)`` — its nearest member of ``A``;
+* the *cluster* of a node ``x`` is ``C(x) = { v : d(x, v) < d(v, A) }``; ``x``
+  stores a shortest-path next hop for every member of its cluster.  The
+  defining inequality is inherited by every node on the shortest path, which
+  is what makes hop-by-hop cluster routing consistent;
+* every landmark's shortest-path tree carries a Lemma 5 labeled tree-routing
+  structure, and every node stores its table for every landmark tree;
+* the label of ``v`` is (identifier of ``l(v)``, tree-routing label of ``v``
+  in ``T(l(v))``).
+
+Routing ``u → v``: if ``v`` is in the local cluster table, follow next hops
+(every intermediate node also has ``v``); otherwise walk to ``l(v)`` inside
+its tree and descend to ``v`` — at most ``2 d(v, l(v)) + d(u, v) <= 3 d(u,v)``
+because ``v`` outside ``C(u)`` implies ``d(v, l(v)) <= d(u, v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, dijkstra, shortest_path_tree
+from repro.routing.messages import RouteResult
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.trees.compact_labeled import CompactTreeRouting
+from repro.utils.bitsize import bits_for_id
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+
+class CowenRouting(RoutingSchemeInstance):
+    """Stretch-3 labeled compact routing."""
+
+    scheme_name = "cowen"
+    labeled = True
+
+    def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
+                 seed=None, name_bits: int = 64,
+                 sample_probability: Optional[float] = None) -> None:
+        super().__init__(graph)
+        self.oracle = oracle or DistanceOracle(graph)
+        self.name_bits = int(name_bits)
+        rng = make_rng(seed)
+        n = graph.n
+        if sample_probability is None:
+            sample_probability = min(1.0, math.sqrt(max(math.log(max(n, 2)), 1.0) / max(n, 2)))
+        self.sample_probability = sample_probability
+
+        # landmark set (never empty: fall back to node 0)
+        landmarks = [v for v in range(n) if rng.random() < sample_probability]
+        if not landmarks:
+            landmarks = [0]
+        self.landmarks: List[int] = sorted(landmarks)
+
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        graph, oracle = self.graph, self.oracle
+        n = graph.n
+        # distance to the landmark set and the home landmark of each node
+        self.home: Dict[int, int] = {}
+        self.dist_to_landmarks = np.full(n, np.inf)
+        for v in range(n):
+            best = min(self.landmarks, key=lambda a: (oracle.dist(v, a), a))
+            self.home[v] = best
+            self.dist_to_landmarks[v] = oracle.dist(v, best)
+
+        # clusters: x stores a next hop for every v with d(x, v) < d(v, A)
+        self._cluster_next_hop: List[Dict[Hashable, int]] = [dict() for _ in range(n)]
+        port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
+        for v in range(n):
+            dist, parent = dijkstra(graph, v)
+            name = graph.name_of(v)
+            for x in range(n):
+                if x == v or not np.isfinite(dist[x]):
+                    continue
+                if dist[x] < self.dist_to_landmarks[v] - 1e-12:
+                    self._cluster_next_hop[x][name] = int(parent[x])
+        for x in range(n):
+            self.tables[x].charge("cluster_entries", self.name_bits + port_bits,
+                                  count=len(self._cluster_next_hop[x]))
+
+        # landmark trees with Lemma 5 routing
+        self._trees: Dict[int, CompactTreeRouting] = {}
+        for a in self.landmarks:
+            tree = shortest_path_tree(graph, a)
+            routing = CompactTreeRouting(tree, k=2)
+            self._trees[a] = routing
+            for v in tree.nodes:
+                self.tables[v].charge("landmark_tree_tables", routing.table_bits(v))
+        # every node also records its home landmark
+        landmark_bits = bits_for_id(max(n, 2))
+        for v in range(n):
+            self.tables[v].charge("home_landmark", landmark_bits)
+
+    # ------------------------------------------------------------------ #
+    # labels
+    # ------------------------------------------------------------------ #
+    def label_bits(self, node: int) -> int:
+        """Label = home landmark id + tree-routing label inside the home tree."""
+        home = self.home[node]
+        routing = self._trees[home]
+        tree_label = routing.label_bits(node) if routing.tree.contains(node) else 0
+        return bits_for_id(max(self.graph.n, 2)) + tree_label
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self, source: int, destination_name: Hashable) -> RouteResult:
+        """Cluster route if possible, otherwise detour through the home landmark."""
+        result = RouteResult(found=False, path=[source], cost=0.0,
+                             max_header_bits=self.header_bits(), strategy="cowen")
+        if self.graph.name_of(source) == destination_name:
+            result.found = True
+            return result
+        if not self.graph.has_name(destination_name):
+            return result
+        destination = self.graph.index_of(destination_name)
+
+        # phase 1: hop-by-hop cluster routing
+        current = source
+        for _ in range(self.graph.n + 1):
+            nxt = self._cluster_next_hop[current].get(destination_name)
+            if nxt is None:
+                break
+            result.cost += self.graph.edge_weight(current, nxt)
+            result.path.append(nxt)
+            current = nxt
+            if current == destination:
+                result.found = True
+                result.strategy = "cowen-cluster"
+                result.phases_used = 1
+                return result
+
+        # phase 2: through the destination's home landmark tree
+        home = self.home[destination]
+        routing = self._trees[home]
+        if routing.tree.contains(current) and routing.tree.contains(destination):
+            walk, cost = routing.walk(current, destination)
+            result.extend(walk)
+            result.cost += cost
+            result.found = result.path[-1] == destination
+            result.strategy = "cowen-landmark"
+            result.phases_used = 2
+        return result
+
+    def header_bits(self) -> int:
+        """Header carries the destination's label (landmark id + tree label)."""
+        tree_label = max((t.header_bits() for t in self._trees.values()), default=0)
+        return self.name_bits + bits_for_id(max(self.graph.n, 2)) + tree_label

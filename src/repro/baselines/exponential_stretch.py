@@ -1,0 +1,139 @@
+"""A prior-generation scale-free name-independent scheme (after [7, 8, 6]).
+
+Before this paper, the only *scale-free* name-independent schemes were based
+on pure random sampling and paid an exponential price in stretch: with
+``Õ(n^{1/k})``-bit tables the best known stretch was ``O(2^k)``
+(Awerbuch–Bar-Noy–Linial–Peleg [7, 8], improved to ``O(k^2 2^k)`` by Arias et
+al. [6]).  This module implements a representative member of that family so
+that experiment E4 can contrast its stretch growth with the linear growth of
+the AGM scheme.  It is a stand-in for the family, not a line-by-line
+reimplementation of [7] (DESIGN.md §3 item 7).
+
+Construction: ``k+1`` landmark levels ``L_0 = V ⊇ L_1 ⊇ ... ⊇ L_k``
+(level ``i`` sampled with probability ``n^{-i/k}``; the top level is forced
+to a single landmark per component).  A level-``i`` landmark is responsible
+for its ``c · n^{(i+1)/k}`` closest nodes: its shortest-path tree over that
+responsibility ball carries a Lemma 7 name-independent dictionary.  A search
+from ``u`` asks ``u``'s nearest level-1 landmark, then its nearest level-2
+landmark, and so on; each failed level costs a round trip proportional to the
+responsibility radius of that level's landmark, radii that are *not*
+calibrated to ``d(u, v)`` — which is exactly why the stretch degrades quickly
+as ``k`` grows while the table size shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.routing.messages import RouteResult
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.trees.error_reporting import DictionaryTreeRouting
+from repro.utils.bitsize import bits_for_count, bits_for_id
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.validation import require
+
+
+class ExponentialStretchRouting(RoutingSchemeInstance):
+    """Random-sampling name-independent routing with super-linear stretch in k."""
+
+    scheme_name = "exponential"
+    labeled = False
+
+    def __init__(self, graph: WeightedGraph, k: int = 2,
+                 oracle: Optional[DistanceOracle] = None,
+                 seed=None, name_bits: int = 64,
+                 responsibility_factor: float = 4.0) -> None:
+        super().__init__(graph)
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.oracle = oracle or DistanceOracle(graph)
+        self.name_bits = int(name_bits)
+        self.responsibility_factor = float(responsibility_factor)
+        self._build(seed)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, seed) -> None:
+        graph, oracle = self.graph, self.oracle
+        rng = make_rng(seed)
+        n = graph.n
+        names = {v: graph.name_of(v) for v in range(n)}
+
+        # landmark levels L_1 .. L_k (L_0 = V is implicit and unused for trees)
+        self.levels: List[List[int]] = []
+        current = list(range(n))
+        for i in range(1, self.k + 1):
+            probability = max(n, 2) ** (-(1.0) / self.k)
+            kept = [v for v in current if rng.random() < probability]
+            if not kept:
+                kept = [current[0]]
+            current = kept
+            self.levels.append(sorted(current))
+        # force the top level to one landmark per component so searches terminate
+        components = graph.connected_components()
+        top: List[int] = []
+        for component in components:
+            in_top = [v for v in self.levels[-1] if v in set(component)]
+            top.append(min(in_top) if in_top else min(component))
+        self.levels[-1] = sorted(set(top))
+
+        # nearest landmark of each level for every node
+        self.nearest: List[List[int]] = []
+        for i in range(self.k):
+            members = self.levels[i]
+            self.nearest.append([
+                min(members, key=lambda a: (oracle.dist(v, a), a)) for v in range(n)
+            ])
+
+        # responsibility trees with Lemma 7 dictionaries
+        self._trees: Dict[int, DictionaryTreeRouting] = {}   # (landmark, level) keyed below
+        self._tree_key: Dict[tuple, DictionaryTreeRouting] = {}
+        for i in range(self.k):
+            count = int(math.ceil(self.responsibility_factor * (max(n, 2) ** ((i + 1) / self.k))))
+            if i == self.k - 1:
+                count = n  # the top level is responsible for everything
+            for w in self.levels[i]:
+                responsibility = oracle.nearest(w, count)
+                tree = shortest_path_tree(graph, w, members=responsibility)
+                tree_names = {v: names[v] for v in tree.nodes}
+                routing = DictionaryTreeRouting(tree, tree_names, name_bits=self.name_bits,
+                                                seed=derive_rng(seed, 11, i, w))
+                self._tree_key[(i, w)] = routing
+                for v in tree.nodes:
+                    self.tables[v].charge("responsibility_tables", routing.table_bits(v))
+        landmark_bits = bits_for_id(max(n, 2))
+        for v in range(n):
+            self.tables[v].charge("nearest_landmarks", landmark_bits, count=self.k)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self, source: int, destination_name: Hashable) -> RouteResult:
+        """Ask the nearest landmark of each level in turn."""
+        result = RouteResult(found=False, path=[source], cost=0.0,
+                             max_header_bits=self.header_bits(), strategy="exponential")
+        if self.graph.name_of(source) == destination_name:
+            result.found = True
+            return result
+        for i in range(self.k):
+            result.phases_used = i + 1
+            landmark = self.nearest[i][source]
+            routing = self._tree_key.get((i, landmark))
+            if routing is None or not routing.tree.contains(source):
+                continue
+            lookup = routing.lookup(source, destination_name)
+            result.extend(lookup.path)
+            result.cost += lookup.cost
+            if lookup.found:
+                result.found = True
+                return result
+        return result
+
+    def header_bits(self) -> int:
+        """Destination name + level counter + the Lemma 7 sub-header."""
+        sub = max((r.header_bits() for r in self._tree_key.values()), default=0)
+        return self.name_bits + bits_for_count(self.k + 1) + sub

@@ -1,0 +1,76 @@
+"""Shortest-path routing with full tables (the trivial stretch-1 scheme).
+
+Every node stores, for every destination *name*, the local port of the next
+hop on a shortest path — ``(n-1)`` entries of ``Θ(log n)`` bits each, i.e.
+``Ω(n log n)`` bits per node.  The paper's Section 1 uses this scheme as the
+motivation for compact routing: perfect stretch, unacceptable space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, dijkstra
+from repro.routing.messages import RouteResult
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.utils.bitsize import bits_for_id
+
+
+class ShortestPathRouting(RoutingSchemeInstance):
+    """Stretch-1 routing with per-destination next-hop tables."""
+
+    scheme_name = "shortest-path"
+    labeled = False
+
+    def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
+                 name_bits: int = 64) -> None:
+        super().__init__(graph)
+        self.oracle = oracle or DistanceOracle(graph)
+        self.name_bits = int(name_bits)
+        #: next_hop[u][name of v] = neighbor of u on a shortest u→v path
+        self._next_hop: list[Dict[Hashable, int]] = [dict() for _ in range(graph.n)]
+        self._build()
+
+    def _build(self) -> None:
+        graph = self.graph
+        port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
+        for target in range(graph.n):
+            # A single Dijkstra from the *destination* gives every source's
+            # next hop at once (the parent pointer points toward the target).
+            dist, parent = dijkstra(graph, target)
+            name = graph.name_of(target)
+            for source in range(graph.n):
+                if source == target or not np.isfinite(dist[source]):
+                    continue
+                self._next_hop[source][name] = int(parent[source])
+        for u in range(graph.n):
+            self.tables[u].charge("next_hop_entries", self.name_bits + port_bits,
+                                  count=len(self._next_hop[u]))
+
+    def route(self, source: int, destination_name: Hashable) -> RouteResult:
+        """Follow the per-hop shortest-path tables."""
+        result = RouteResult(found=False, path=[source], cost=0.0,
+                             max_header_bits=self.header_bits(), strategy="shortest-path")
+        if self.graph.name_of(source) == destination_name:
+            result.found = True
+            return result
+        current = source
+        for _ in range(self.graph.n + 1):
+            nxt = self._next_hop[current].get(destination_name)
+            if nxt is None:
+                return result
+            result.cost += self.graph.edge_weight(current, nxt)
+            result.path.append(nxt)
+            current = nxt
+            if self.graph.name_of(current) == destination_name:
+                result.found = True
+                result.phases_used = 1
+                return result
+        return result
+
+    def header_bits(self) -> int:
+        """Only the destination name travels in the header."""
+        return self.name_bits

@@ -1,0 +1,222 @@
+"""Sparse/dense neighborhood decomposition (Definitions 1 and 2).
+
+For every node ``u`` the decomposition produces ranges
+``a(u,0) = 0 < a(u,1) < ... < a(u,k+1)`` such that the ball of radius
+``2^{a(u,i+1)}`` around ``u`` holds at least ``n^{1/k}`` times as many nodes
+as the ball of radius ``2^{a(u,i)}`` — each level multiplies the population
+by ``n^{1/k}`` *and* at least doubles the radius, which is the combined
+combinatorial/geometric restriction that makes the scheme scale-free.
+
+Level ``i`` is **dense** for ``u`` when the next range is at most
+``dense_gap`` (= 3) steps away, i.e. the population multiplies within a
+constant radius blow-up; otherwise it is **sparse**.
+
+Distances are measured in units of ``d_min`` (the smallest positive pairwise
+distance) so that radius ``2^j`` means ``d_min * 2^j`` — the paper simply
+normalizes ``d_min = 1``.  When no radius achieves the required growth the
+range is capped at a sentinel exponent large enough that the corresponding
+ball covers the whole connected component; this realizes the paper's
+"``a(u,i+1) = log Δ`` if no such integer exists" and guarantees the top level
+always covers the destination (DESIGN.md §3 item 5).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.params import AGMParams
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.utils.validation import check_index, require
+
+
+class NeighborhoodDecomposition:
+    """Ranges, neighborhoods and dense/sparse classification for every node."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        k: int,
+        oracle: Optional[DistanceOracle] = None,
+        params: Optional[AGMParams] = None,
+    ) -> None:
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = int(k)
+        self.params = params or AGMParams.paper()
+        self.oracle = oracle or DistanceOracle(graph)
+        self.n = graph.n
+        self.growth = max(self.n, 2) ** (1.0 / self.k)
+
+        self.d_min = self.oracle.min_positive_distance()
+        diameter = self.oracle.diameter()
+        self.max_exp = 0
+        if diameter > 0 and self.d_min > 0:
+            self.max_exp = max(0, int(math.ceil(math.log2(diameter / self.d_min))))
+        #: sentinel exponent whose E/F balls cover the whole component
+        self.top_exp = self.max_exp + 4
+
+        # Pre-compute |B(u, d_min * 2^j)| for every node and every exponent
+        # 0..max_exp in one vectorized pass; the range recursion then runs on
+        # this table instead of issuing O(n) ball queries per probe.
+        radii = self.d_min * np.power(2.0, np.arange(self.max_exp + 1)) + 1e-12
+        sorted_rows = np.sort(np.where(np.isfinite(self.oracle.matrix),
+                                       self.oracle.matrix, np.inf), axis=1)
+        self._ball_size_table = np.vstack([
+            np.searchsorted(sorted_rows[u], radii, side="right") for u in range(self.n)
+        ]).astype(np.int64)
+
+        # ranges a(u, 0..k+1)
+        self._ranges: List[List[int]] = [self._compute_ranges(u) for u in range(self.n)]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def radius_of_exponent(self, j: float) -> float:
+        """The metric radius corresponding to exponent ``j`` (i.e. ``d_min * 2^j``)."""
+        return self.d_min * (2.0 ** j)
+
+    def _ball_size(self, u: int, exponent: float) -> int:
+        j = int(exponent)
+        if 0 <= j <= self.max_exp and j == exponent:
+            return int(self._ball_size_table[u, j])
+        return self.oracle.ball_size(u, self.radius_of_exponent(exponent))
+
+    def _compute_ranges(self, u: int) -> List[int]:
+        sizes = self._ball_size_table[u]
+        ranges = [0]
+        current_size = 1  # |A(u,0)| = |{u}|
+        for _ in range(self.k + 1):
+            target = self.growth * current_size
+            # the next range must strictly exceed the previous one (ball sizes
+            # are monotone, so smaller exponents can never reach the target)
+            start = max(ranges[-1] + 1, 1)
+            found: Optional[int] = None
+            if start <= self.max_exp:
+                hits = np.where(sizes[start:] >= target - 1e-9)[0]
+                if hits.size:
+                    found = start + int(hits[0])
+            if found is None:
+                ranges.append(max(self.top_exp, ranges[-1] + self.params.dense_gap + 1))
+                current_size = int(sizes[self.max_exp])
+            else:
+                ranges.append(found)
+                current_size = int(sizes[found])
+        return ranges
+
+    # ------------------------------------------------------------------ #
+    # Definition 1 accessors
+    # ------------------------------------------------------------------ #
+    def range(self, u: int, i: int) -> int:
+        """``a(u, i)`` for ``0 <= i <= k+1``."""
+        check_index(u, self.n, "u")
+        require(0 <= i <= self.k + 1, f"level {i} out of range [0, {self.k + 1}]")
+        return self._ranges[u][i]
+
+    def ranges_of(self, u: int) -> List[int]:
+        """The full range list ``[a(u,0), ..., a(u,k+1)]``."""
+        check_index(u, self.n, "u")
+        return list(self._ranges[u])
+
+    def neighborhood_radius(self, u: int, i: int) -> float:
+        """Radius of ``A(u, i)`` (0 for level 0)."""
+        if i == 0:
+            return 0.0
+        return self.radius_of_exponent(self.range(u, i))
+
+    def neighborhood(self, u: int, i: int) -> List[int]:
+        """``A(u, i)``: the level-``i`` neighborhood ball of ``u``."""
+        if i == 0:
+            return [u]
+        return self.oracle.ball(u, self.neighborhood_radius(u, i))
+
+    def neighborhood_size(self, u: int, i: int) -> int:
+        """``|A(u, i)|``."""
+        if i == 0:
+            return 1
+        return self.oracle.ball_size(u, self.neighborhood_radius(u, i))
+
+    # ------------------------------------------------------------------ #
+    # Definition 2: dense / sparse levels
+    # ------------------------------------------------------------------ #
+    def is_dense(self, u: int, i: int) -> bool:
+        """Whether level ``i`` is dense for ``u`` (Definition 2)."""
+        require(0 <= i <= self.k, f"level {i} out of range [0, {self.k}]")
+        a_i = self.range(u, i)
+        a_next = self.range(u, i + 1)
+        return a_i < a_next <= a_i + self.params.dense_gap
+
+    def is_sparse(self, u: int, i: int) -> bool:
+        """Whether level ``i`` is sparse for ``u``."""
+        return not self.is_dense(u, i)
+
+    def dense_levels(self, u: int) -> List[int]:
+        """All dense levels of ``u`` in ``0..k``."""
+        return [i for i in range(self.k + 1) if self.is_dense(u, i)]
+
+    def sparse_levels(self, u: int) -> List[int]:
+        """All sparse levels of ``u`` in ``0..k``."""
+        return [i for i in range(self.k + 1) if self.is_sparse(u, i)]
+
+    # ------------------------------------------------------------------ #
+    # guarantee balls F(u,i) and E(u,i)
+    # ------------------------------------------------------------------ #
+    def f_radius(self, u: int, i: int) -> float:
+        """Radius of ``F(u, i) = B(u, 2^{a(u,i)-1})`` (the dense-level guarantee ball)."""
+        return self.radius_of_exponent(self.range(u, i) - 1)
+
+    def f_ball(self, u: int, i: int) -> List[int]:
+        """``F(u, i)``."""
+        return self.oracle.ball(u, self.f_radius(u, i))
+
+    def e_radius(self, u: int, i: int) -> float:
+        """Radius of ``E(u, i) = B(u, 2^{a(u,i+1)} / 6)`` (the sparse-level guarantee ball)."""
+        return self.radius_of_exponent(self.range(u, i + 1)) / self.params.sparse_shrink
+
+    def e_ball(self, u: int, i: int) -> List[int]:
+        """``E(u, i)``."""
+        return self.oracle.ball(u, self.e_radius(u, i))
+
+    def guarantee_ball(self, u: int, i: int) -> List[int]:
+        """The ball the level-``i`` strategy is guaranteed to cover (F if dense, E if sparse)."""
+        return self.f_ball(u, i) if self.is_dense(u, i) else self.e_ball(u, i)
+
+    # ------------------------------------------------------------------ #
+    # range sets L(u), R(u) and the extended-range subgraph populations
+    # ------------------------------------------------------------------ #
+    def range_set(self, u: int) -> Set[int]:
+        """``L(u) = { a(u, i) : i in K }``."""
+        return set(self._ranges[u][: self.k + 1])
+
+    def extended_range_set(self, u: int) -> Set[int]:
+        """``R(u) = { j : exists a in L(u) with -1 <= a - j <= 4 }`` (clipped to >= 0)."""
+        out: Set[int] = set()
+        for a in self.range_set(u):
+            lo = a - self.params.extend_above
+            hi = a + self.params.extend_below
+            for j in range(max(lo, 0), hi + 1):
+                out.add(j)
+        return out
+
+    def extended_range_members(self) -> Dict[int, List[int]]:
+        """For every exponent ``j``, the node set ``V_j = { u : j in R(u) }``."""
+        members: Dict[int, List[int]] = {}
+        for u in range(self.n):
+            for j in self.extended_range_set(u):
+                members.setdefault(j, []).append(u)
+        return {j: sorted(v) for j, v in members.items()}
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def describe(self, u: int) -> Dict[str, object]:
+        """Human-readable summary of ``u``'s decomposition (for debugging/reports)."""
+        return {
+            "ranges": self.ranges_of(u),
+            "sizes": [self.neighborhood_size(u, i) for i in range(self.k + 1)],
+            "dense": [self.is_dense(u, i) for i in range(self.k + 1)],
+        }

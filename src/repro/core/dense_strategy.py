@@ -1,0 +1,164 @@
+"""Dense neighborhood routing strategy (Sections 3.4–3.6).
+
+For a dense level ``i`` of the source ``u`` (the population multiplies within
+a constant radius blow-up), the scheme uses tree covers of bounded radius.
+The crucial scale-free twist is that the cover at radius ``2^j`` is built
+**only on the subgraph** ``G_j`` induced by the nodes whose extended range
+set ``R(·)`` contains ``j`` — Lemma 2 shows that for a dense level the whole
+guarantee ball ``F(u,i) = B(u, 2^{a(u,i)-1})`` lies inside ``G_{a(u,i)}``, so
+routing on a cover tree of ``G_{a(u,i)}`` finds it.  Because ``|R(v)| = O(k)``
+for every node, each node participates in only ``O(k)`` covers no matter how
+large the aspect ratio is.
+
+Each cover tree carries the Lemma 7 name-independent dictionary so that a
+lookup costs ``O(rad(T))`` and reports misses back to the source.
+
+Lazy materialization (DESIGN.md §3): covers are only built for exponents that
+are the range ``a(u,i)`` of some dense level actually present in the graph;
+other exponents of ``R(u)`` can never be the target of a dense-level search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.decomposition import NeighborhoodDecomposition
+from repro.core.params import AGMParams
+from repro.covers.tree_cover import TreeCover, build_tree_cover
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.trees import Tree
+from repro.routing.table import TableCollection
+from repro.trees.error_reporting import DictionaryTreeRouting
+from repro.utils.bitsize import bits_for_count, bits_for_id
+from repro.utils.rng import derive_rng
+from repro.utils.validation import require
+
+
+def translate_tree(tree: Tree, mapping: List[int]) -> Tree:
+    """Map a tree over subgraph-local indices back to global node indices."""
+    parent = {mapping[c]: mapping[p] for c, p in tree.parent.items()}
+    weights = {mapping[c]: w for c, w in tree.edge_weight.items()}
+    return Tree(root=mapping[tree.root], parent=parent, edge_weight=weights)
+
+
+class DenseStrategy:
+    """Preprocessed dense-level routing state for one graph."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        k: int,
+        oracle: DistanceOracle,
+        decomposition: NeighborhoodDecomposition,
+        params: AGMParams,
+        tables: TableCollection,
+        seed=None,
+    ) -> None:
+        self.graph = graph
+        self.k = int(k)
+        self.oracle = oracle
+        self.decomposition = decomposition
+        self.params = params
+        self.tables = tables
+
+        #: exponent j -> list of Lemma 7 structures (one per cover tree of G_j)
+        self.covers: Dict[int, List[DictionaryTreeRouting]] = {}
+        #: exponent j -> {global node -> index of its home tree in covers[j]}
+        self.home_index: Dict[int, Dict[int, int]] = {}
+        #: (u, i) -> exponent a(u, i) for every dense level
+        self.exponent_of: Dict[Tuple[int, int], int] = {}
+
+        self._build(seed)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, seed) -> None:
+        graph, k = self.graph, self.k
+
+        # 1. which exponents are the range of some dense level
+        needed: Set[int] = set()
+        for u in range(graph.n):
+            for i in range(k + 1):
+                if self.decomposition.is_dense(u, i):
+                    j = self.decomposition.range(u, i)
+                    self.exponent_of[(u, i)] = j
+                    needed.add(j)
+        if not needed:
+            return
+
+        # 2. the extended-range populations V_j = { v : j in R(v) }
+        members = self.decomposition.extended_range_members()
+
+        # 3. one tree cover per needed exponent, built on the induced subgraph G_j
+        names = {v: graph.name_of(v) for v in range(graph.n)}
+        for count, j in enumerate(sorted(needed)):
+            population = members.get(j, [])
+            if not population:
+                continue
+            subgraph, mapping = graph.subgraph(population)
+            sub_oracle = DistanceOracle(subgraph)
+            rho = self.decomposition.radius_of_exponent(j)
+            cover: TreeCover = build_tree_cover(subgraph, k, rho, oracle=sub_oracle)
+            routings: List[DictionaryTreeRouting] = []
+            for t_index, local_tree in enumerate(cover.trees):
+                global_tree = translate_tree(local_tree, mapping)
+                tree_names = {v: names[v] for v in global_tree.nodes}
+                routings.append(DictionaryTreeRouting(
+                    global_tree, tree_names, name_bits=self.params.name_bits,
+                    seed=derive_rng(seed, 202, count, t_index)))
+            self.covers[j] = routings
+            self.home_index[j] = {mapping[local]: idx for local, idx in cover.home.items()}
+
+        # 4. storage accounting
+        idbits = bits_for_id(max(graph.n, 2))
+        for j, routings in self.covers.items():
+            for routing in routings:
+                for v in routing.tree.nodes:
+                    self.tables[v].charge("dense_tree_tables", routing.table_bits(v))
+        exponent_bits = bits_for_count(self.decomposition.top_exp + 1)
+        for (u, i), j in self.exponent_of.items():
+            # the node records the exponent and the root w(u, i) of its home tree
+            self.tables[u].charge("dense_level_pointers", exponent_bits + idbits)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def is_applicable(self, u: int, i: int) -> bool:
+        """Whether level ``i`` of node ``u`` is handled by this strategy."""
+        if (u, i) not in self.exponent_of:
+            return False
+        j = self.exponent_of[(u, i)]
+        return j in self.home_index and u in self.home_index[j]
+
+    def home_tree_routing(self, u: int, i: int) -> DictionaryTreeRouting:
+        """The Lemma 7 structure of ``W(u, i)`` (the tree covering ``B(u, 2^{a(u,i)})``)."""
+        j = self.exponent_of[(u, i)]
+        return self.covers[j][self.home_index[j][u]]
+
+    def root(self, u: int, i: int) -> int:
+        """``w(u, i)``: the root of ``W(u, i)``."""
+        return self.home_tree_routing(u, i).tree.root
+
+    def max_header_bits(self) -> int:
+        """Largest sub-header any dense-level lookup may need."""
+        return max((r.header_bits() for routings in self.covers.values() for r in routings),
+                   default=0)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self, u: int, i: int, target_name: Hashable
+              ) -> Tuple[List[int], float, bool, Optional[int]]:
+        """Execute the dense strategy for level ``i`` from node ``u``.
+
+        Returns ``(walk, cost, found, destination)``; the walk starts at ``u``
+        and, when the destination is not found, ends back at ``u``.
+        """
+        require((u, i) in self.exponent_of, f"level {i} is not dense for node {u}")
+        if not self.is_applicable(u, i):
+            return [u], 0.0, False, None
+        routing = self.home_tree_routing(u, i)
+        result = routing.lookup(u, target_name)
+        return list(result.path), result.cost, result.found, result.destination

@@ -1,0 +1,207 @@
+"""Sparse neighborhood routing strategy (Sections 3.1–3.3).
+
+For a sparse level ``i`` of the source ``u`` the scheme routes to the center
+``c(u, i)`` (the closest landmark of the highest rank present in ``A(u,i)``)
+and performs a ``b(u, i)``-bounded Lemma 4 search on the shortest-path tree
+``T(c(u,i))`` that spans every node ``v`` with ``c(u,i) in S(v)``.  Lemma 3
+guarantees that every ``v in E(u, i)`` satisfies ``c(u,i) in S(v)``, so the
+search succeeds whenever the destination is inside the guarantee ball; a miss
+walks back to ``u`` (the error report) and the scheme moves on to the next
+level.
+
+Lazy materialization (documented in DESIGN.md §3): the paper charges every
+node for the trees of *all* its nearby landmarks ``S(u)``; the reproduction
+only materializes trees whose root is actually some node's center ``c(u,i)``
+— the only trees routing can ever touch — and charges exactly the
+materialized state.  The measured space is therefore a lower bound on the
+paper's accounting, which is itself an upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.decomposition import NeighborhoodDecomposition
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.params import AGMParams
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.routing.table import TableCollection
+from repro.trees.name_independent import NameIndependentTreeRouting
+from repro.utils.bitsize import bits_for_count, bits_for_id
+from repro.utils.rng import derive_rng
+from repro.utils.validation import require
+
+
+class SparseStrategy:
+    """Preprocessed sparse-level routing state for one graph."""
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        k: int,
+        oracle: DistanceOracle,
+        decomposition: NeighborhoodDecomposition,
+        landmarks: LandmarkHierarchy,
+        params: AGMParams,
+        tables: TableCollection,
+        seed=None,
+    ) -> None:
+        self.graph = graph
+        self.k = int(k)
+        self.oracle = oracle
+        self.decomposition = decomposition
+        self.landmarks = landmarks
+        self.params = params
+        self.tables = tables
+
+        n = graph.n
+        self.sigma = max(2, int(math.ceil(n ** (1.0 / self.k)))) if n > 1 else 1
+
+        #: (u, i) -> center c(u, i) for every sparse level
+        self.center_of: Dict[Tuple[int, int], int] = {}
+        #: (u, i) -> search bound b(u, i)
+        self.bound_of: Dict[Tuple[int, int], int] = {}
+        #: center -> Lemma 4 structure on T(center)
+        self.trees: Dict[int, NameIndependentTreeRouting] = {}
+
+        self._build(seed)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, seed) -> None:
+        graph, k = self.graph, self.k
+        # 1. centers actually used by some (node, sparse level) pair
+        used_centers: Set[int] = set()
+        for u in range(graph.n):
+            for i in range(k + 1):
+                if self.decomposition.is_sparse(u, i):
+                    c = self.landmarks.center(u, i)
+                    self.center_of[(u, i)] = c
+                    used_centers.add(c)
+
+        # 2. which nodes each center serves: v is served by c iff c in S(v)
+        served_by: Dict[int, Set[int]] = defaultdict(set)
+        for v in range(graph.n):
+            for c in self.landmarks.nearby_union(v):
+                if c in used_centers:
+                    served_by[c].add(v)
+
+        # 3. build T(c) and its Lemma 4 routing structure for every used center
+        names = {v: graph.name_of(v) for v in range(graph.n)}
+        for index, c in enumerate(sorted(used_centers)):
+            members = served_by[c] | {c}
+            tree = shortest_path_tree(graph, c, members=sorted(members))
+            tree_names = {v: names[v] for v in tree.nodes}
+            self.trees[c] = NameIndependentTreeRouting(
+                tree, tree_names, k=k, sigma=self.sigma,
+                name_bits=self.params.name_bits,
+                seed=derive_rng(seed, 101, index),
+            )
+
+        # 4. search bounds b(u, i): the minimal j-bounded search that covers E(u, i)
+        for (u, i), c in self.center_of.items():
+            routing = self.trees[c]
+            e_ball = self.decomposition.e_ball(u, i)
+            in_tree = [v for v in e_ball if routing.tree.contains(v)]
+            self.bound_of[(u, i)] = routing.required_bound(in_tree)
+
+        # 5. storage accounting
+        idbits = bits_for_id(max(graph.n, 2))
+        for c, routing in self.trees.items():
+            for v in routing.tree.nodes:
+                self.tables[v].charge("sparse_tree_tables", routing.table_bits(v))
+        for (u, i), c in self.center_of.items():
+            level_bits = idbits + bits_for_count(max(routing_max_digits(self.trees[c]), 1))
+            self.tables[u].charge("sparse_level_pointers", level_bits)
+
+    # ------------------------------------------------------------------ #
+    # queries used by the scheme and by tests
+    # ------------------------------------------------------------------ #
+    def is_applicable(self, u: int, i: int) -> bool:
+        """Whether level ``i`` of node ``u`` is handled by this strategy."""
+        return (u, i) in self.center_of
+
+    def center(self, u: int, i: int) -> int:
+        """``c(u, i)``."""
+        return self.center_of[(u, i)]
+
+    def bound(self, u: int, i: int) -> int:
+        """``b(u, i)``."""
+        return self.bound_of[(u, i)]
+
+    def tree_of_center(self, c: int) -> NameIndependentTreeRouting:
+        """The Lemma 4 structure of center ``c``."""
+        return self.trees[c]
+
+    def max_header_bits(self) -> int:
+        """Largest sub-header any sparse-level tree search may need."""
+        return max((t.header_bits() for t in self.trees.values()), default=0)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self, u: int, i: int, target_name: Hashable
+              ) -> Tuple[List[int], float, bool, Optional[int]]:
+        """Execute the sparse strategy for level ``i`` from node ``u``.
+
+        Returns ``(walk, cost, found, destination)``; the walk starts at ``u``
+        and, when the destination is not found, ends back at ``u``.
+        """
+        require((u, i) in self.center_of, f"level {i} is not sparse for node {u}")
+        c = self.center_of[(u, i)]
+        routing = self.trees[c]
+        tree = routing.tree
+        if not tree.contains(u):
+            # Cannot happen when c = c(u,i) (the center is always in S(u));
+            # kept as a defensive no-op so routing degrades to the next level.
+            return [u], 0.0, False, None
+
+        walk: List[int] = [u]
+        cost = 0.0
+
+        # leg 1: climb T(c) from u to the root c
+        up = tree.path(u, c)
+        walk, cost = _extend_walk(walk, cost, up, tree)
+
+        # leg 2: b(u,i)-bounded search from the root
+        search = routing.search_from_root(target_name, j_bound=self.bound_of[(u, i)])
+        walk, cost = _extend_walk(walk, cost, search.path, tree)
+        if search.found:
+            return walk, cost, True, search.destination
+
+        # leg 3: negative response — return to u and let the scheme try level i+1
+        down = tree.path(c, u)
+        walk, cost = _extend_walk(walk, cost, down, tree)
+        return walk, cost, False, None
+
+
+def routing_max_digits(routing: NameIndependentTreeRouting) -> int:
+    """Maximum primary-name length of a Lemma 4 structure (helper for accounting)."""
+    return max(routing.max_digits, 1)
+
+
+def _extend_walk(walk: List[int], cost: float, segment: List[int], tree
+                 ) -> Tuple[List[int], float]:
+    """Append ``segment`` (a tree walk) to ``walk``, accumulating tree edge costs."""
+    if not segment:
+        return walk, cost
+    if walk and segment[0] == walk[-1]:
+        segment = segment[1:]
+    for node in segment:
+        prev = walk[-1]
+        if node != prev:
+            cost += _tree_edge_weight(tree, prev, node)
+        walk.append(node)
+    return walk, cost
+
+
+def _tree_edge_weight(tree, a: int, b: int) -> float:
+    if tree.parent.get(a) == b:
+        return tree.edge_weight[a]
+    if tree.parent.get(b) == a:
+        return tree.edge_weight[b]
+    raise RuntimeError(f"({a}, {b}) is not an edge of the sparse-strategy tree")

@@ -1,0 +1,6 @@
+"""Sparse covers / tree covers (Lemma 6, after Awerbuch–Peleg [9] with [3]'s extensions)."""
+
+from repro.covers.sparse_cover import SparseCover, build_sparse_cover
+from repro.covers.tree_cover import TreeCover, build_tree_cover
+
+__all__ = ["SparseCover", "build_sparse_cover", "TreeCover", "build_tree_cover"]

@@ -1,0 +1,151 @@
+"""Sparse covers by ball coarsening (Awerbuch–Peleg style).
+
+Lemma 6 needs, for a graph ``G``, integer ``k`` and radius ``rho``, a
+collection of clusters such that
+
+* (cover) every ball ``B(v, rho)`` is fully contained in some cluster,
+* (sparse) every node belongs to ``O(k n^{1/k})`` clusters,
+* (small radius) every cluster has radius ``O(k) * rho`` around its center,
+* (small edges) cluster spanning trees only use edges of weight ``<= 2 rho``.
+
+The construction coarsens the initial cover ``{B(v, rho) : v}``: repeatedly
+pick an uncovered ball, merge into it all still-unprocessed balls that touch
+the growing cluster, and stop growing as soon as one more layer would not
+multiply the number of merged *kernel* balls by ``n^{1/k}`` — so at most
+``k`` growth layers happen and the radius stays ``O(k rho)``.  Balls merged
+into the kernel are removed permanently (their cover obligation is met);
+balls that merely touch the final cluster stay pending for later clusters,
+and are skipped for the remainder of the current *phase* so that the clusters
+produced within one phase stay (kernel-)disjoint, which is what bounds the
+per-node membership.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.utils.validation import require
+
+
+@dataclass
+class Cluster:
+    """One output cluster: its member nodes, kernel centers, and designated center."""
+
+    index: int
+    center: int
+    nodes: Set[int]
+    kernel_centers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class SparseCover:
+    """The result of the coarsening: clusters plus the home-cluster map."""
+
+    k: int
+    rho: float
+    clusters: List[Cluster]
+    #: for each node, the index of the cluster that covers its rho-ball
+    home: Dict[int, int]
+
+    def membership_counts(self, n: int) -> List[int]:
+        """Number of clusters containing each node (length-``n`` list)."""
+        counts = [0] * n
+        for cluster in self.clusters:
+            for v in cluster.nodes:
+                counts[v] += 1
+        return counts
+
+    def max_membership(self, n: int) -> int:
+        """Largest number of clusters any node belongs to."""
+        counts = self.membership_counts(n)
+        return max(counts) if counts else 0
+
+    def cluster_of_home(self, v: int) -> Cluster:
+        """The cluster guaranteed to contain ``B(v, rho)``."""
+        return self.clusters[self.home[v]]
+
+
+def build_sparse_cover(
+    graph: WeightedGraph,
+    k: int,
+    rho: float,
+    oracle: Optional[DistanceOracle] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> SparseCover:
+    """Coarsen the ball cover ``{B(v, rho)}`` of ``graph`` into a sparse cover.
+
+    Parameters
+    ----------
+    graph, k, rho:
+        As in Lemma 6.
+    oracle:
+        Optional pre-computed distance oracle of ``graph``.
+    nodes:
+        Optional node subset: only these nodes' balls must be covered and only
+        these nodes participate (used when covering a subgraph ``G_i`` that was
+        *not* materialized as a separate ``WeightedGraph``).  Defaults to all
+        nodes.
+    """
+    require(k >= 1, f"k must be >= 1, got {k}")
+    require(rho > 0, f"rho must be positive, got {rho}")
+    oracle = oracle or DistanceOracle(graph)
+    if nodes is None:
+        universe = list(range(graph.n))
+    else:
+        universe = sorted(set(int(v) for v in nodes))
+    allowed = set(universe)
+    n_eff = max(len(universe), 2)
+    growth = n_eff ** (1.0 / k)
+
+    # Pre-compute every ball restricted to the allowed node set.
+    balls: Dict[int, Set[int]] = {}
+    for v in universe:
+        balls[v] = {u for u in oracle.ball(v, rho) if u in allowed}
+
+    remaining: Set[int] = set(universe)          # centers whose ball still needs covering
+    clusters: List[Cluster] = []
+    home: Dict[int, int] = {}
+
+    while remaining:
+        phase_pending: Set[int] = set(remaining)  # centers processable in this phase
+        progressed = False
+        while phase_pending:
+            v = min(phase_pending)
+            kernel: Set[int] = {v}
+            cluster_nodes: Set[int] = set(balls[v])
+            # grow while one more layer multiplies the kernel by >= n^{1/k}
+            for _ in range(k + 1):
+                touching = {c for c in phase_pending
+                            if c in remaining and not balls[c].isdisjoint(cluster_nodes)}
+                touching |= kernel
+                if len(touching) < growth * len(kernel):
+                    # final layer: absorb the touching balls into the cluster body,
+                    # but only the current kernel is considered covered
+                    final_nodes = set(cluster_nodes)
+                    for c in touching:
+                        final_nodes |= balls[c]
+                    index = len(clusters)
+                    clusters.append(Cluster(index=index, center=v,
+                                            nodes=final_nodes, kernel_centers=set(kernel)))
+                    for c in kernel:
+                        home[c] = index
+                    remaining -= kernel
+                    phase_pending -= touching
+                    phase_pending -= kernel
+                    progressed = True
+                    break
+                kernel = set(touching)
+                for c in touching:
+                    cluster_nodes |= balls[c]
+            else:  # pragma: no cover - the growth loop always breaks within k+1 rounds
+                raise RuntimeError("sparse cover growth loop failed to terminate")
+        if not progressed:  # pragma: no cover - defensive
+            raise RuntimeError("sparse cover made no progress in a phase")
+
+    return SparseCover(k=k, rho=rho, clusters=clusters, home=home)

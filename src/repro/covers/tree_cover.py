@@ -1,0 +1,131 @@
+"""Tree covers ``TC_{k,rho}(G)`` (Lemma 6).
+
+A tree cover turns each cluster of a :class:`SparseCover` into a rooted
+spanning tree (a shortest-path tree of the cluster's induced subgraph,
+restricted to edges of weight at most ``2 rho`` — such edges always suffice
+to connect a cluster, and the restriction is what gives Lemma 6's
+"small edges" property).  The cover keeps, for every node ``v``, the index of
+the tree that contains its whole ball ``B(v, rho)`` — the tree ``W(v)`` the
+dense routing strategy climbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.covers.sparse_cover import SparseCover, build_sparse_cover
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, dijkstra
+from repro.graphs.trees import Tree
+from repro.utils.validation import require
+
+
+@dataclass
+class TreeCover:
+    """A collection of rooted cluster trees covering all ``rho``-balls."""
+
+    k: int
+    rho: float
+    trees: List[Tree]
+    #: node -> index of the tree containing B(node, rho)
+    home: Dict[int, int]
+
+    def home_tree(self, v: int) -> Tree:
+        """The tree guaranteed to contain ``B(v, rho)``."""
+        return self.trees[self.home[v]]
+
+    def trees_containing(self, v: int) -> List[int]:
+        """Indices of all trees that contain node ``v``."""
+        return [i for i, t in enumerate(self.trees) if t.contains(v)]
+
+    def max_membership(self) -> int:
+        """Largest number of trees any node belongs to (Lemma 6's sparsity)."""
+        counts: Dict[int, int] = {}
+        for t in self.trees:
+            for v in t.nodes:
+                counts[v] = counts.get(v, 0) + 1
+        return max(counts.values()) if counts else 0
+
+    def max_radius(self) -> float:
+        """Largest tree radius (Lemma 6 bounds it by ``O(k) * rho``)."""
+        return max((t.radius() for t in self.trees), default=0.0)
+
+    def max_edge(self) -> float:
+        """Heaviest tree edge (Lemma 6 bounds it by ``2 rho``)."""
+        return max((t.max_edge() for t in self.trees), default=0.0)
+
+    def covers_ball(self, v: int, oracle: DistanceOracle,
+                    nodes: Optional[Sequence[int]] = None) -> bool:
+        """Check that ``B(v, rho)`` (within ``nodes`` if given) lies inside ``home_tree(v)``."""
+        ball = oracle.ball(v, self.rho)
+        if nodes is not None:
+            allowed = set(nodes)
+            ball = [u for u in ball if u in allowed]
+        tree = self.home_tree(v)
+        return all(tree.contains(u) for u in ball)
+
+
+def _cluster_tree(graph: WeightedGraph, center: int, nodes: Sequence[int],
+                  rho: float) -> Tree:
+    """Shortest-path tree of the cluster, using only edges of weight <= 2 rho."""
+    members = sorted(set(int(v) for v in nodes))
+    if len(members) == 1:
+        return Tree.single_node(members[0])
+    member_set = set(members)
+
+    # Restricted Dijkstra inside the cluster, ignoring heavy edges.
+    import heapq
+    import numpy as np
+
+    dist = {v: float("inf") for v in members}
+    parent: Dict[int, int] = {}
+    weight: Dict[int, float] = {}
+    dist[center] = 0.0
+    heap = [(0.0, center)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbors(u):
+            if v not in member_set or w > 2.0 * rho + 1e-12:
+                continue
+            nd = d + w
+            if nd < dist[v] - 1e-15:
+                dist[v] = nd
+                parent[v] = u
+                weight[v] = w
+                heapq.heappush(heap, (nd, v))
+
+    unreachable = [v for v in members if not np.isfinite(dist[v])]
+    if unreachable:
+        # Fall back to the unrestricted induced subgraph: correctness (the
+        # cover property) takes precedence over the small-edge bound, and the
+        # benches report max_edge so any such fallback is visible.
+        sub, mapping = graph.subgraph(members)
+        local_center = mapping.index(center)
+        d2, p2 = dijkstra(sub, local_center)
+        parent = {}
+        weight = {}
+        for local_v, par in enumerate(p2):
+            if par >= 0:
+                parent[mapping[local_v]] = mapping[int(par)]
+                weight[mapping[local_v]] = sub.edge_weight(int(par), local_v)
+    return Tree(root=center, parent=parent, edge_weight=weight)
+
+
+def build_tree_cover(
+    graph: WeightedGraph,
+    k: int,
+    rho: float,
+    oracle: Optional[DistanceOracle] = None,
+    nodes: Optional[Sequence[int]] = None,
+) -> TreeCover:
+    """Build ``TC_{k,rho}`` of ``graph`` (or of the induced subgraph on ``nodes``)."""
+    require(k >= 1, f"k must be >= 1, got {k}")
+    oracle = oracle or DistanceOracle(graph)
+    cover: SparseCover = build_sparse_cover(graph, k, rho, oracle=oracle, nodes=nodes)
+    trees: List[Tree] = []
+    for cluster in cover.clusters:
+        trees.append(_cluster_tree(graph, cluster.center, sorted(cluster.nodes), rho))
+    return TreeCover(k=k, rho=rho, trees=trees, home=dict(cover.home))

@@ -1,0 +1,22 @@
+"""Experiment harness: workloads, runner, reporting, and one module per experiment.
+
+Each ``exp_*`` module exposes ``run(quick=True, seed=...) -> ExperimentResult``
+so that the pytest-benchmark wrappers in ``benchmarks/`` and the runnable
+examples can share the exact same code paths.
+"""
+
+from repro.experiments.harness import ExperimentResult, run_matrix, evaluate_scheme_on_graph
+from repro.experiments.workloads import WorkloadSpec, standard_suite, make_workload
+from repro.experiments.reporting import format_table, format_series, results_to_csv
+
+__all__ = [
+    "ExperimentResult",
+    "run_matrix",
+    "evaluate_scheme_on_graph",
+    "WorkloadSpec",
+    "standard_suite",
+    "make_workload",
+    "format_table",
+    "format_series",
+    "results_to_csv",
+]

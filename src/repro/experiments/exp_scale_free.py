@@ -1,0 +1,62 @@
+"""Experiment E3 — the scale-free claim.
+
+Fixed topology, edge weights rescaled so the aspect ratio Δ spans ten orders
+of magnitude.  The AGM scheme's per-node table size should stay flat (its
+storage never depends on Δ), while the Awerbuch–Peleg-style hierarchical
+scheme grows roughly linearly in ``log Δ`` because it keeps one cover per
+scale.  This is the abstract's headline property ("storage and header sizes
+are independent of the aspect ratio").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.params import AGMParams
+from repro.experiments.harness import ExperimentResult, evaluate_scheme_on_graph
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.workloads import aspect_ratio_suite
+from repro.graphs.metrics import aspect_ratio
+from repro.graphs.shortest_paths import DistanceOracle
+
+
+def run(quick: bool = True, seed: int = 0, k: int = 2,
+        deltas: Optional[Sequence[float]] = None,
+        num_pairs: Optional[int] = None) -> ExperimentResult:
+    """Run E3 and return its result table."""
+    if deltas is None:
+        deltas = [1e2, 1e4, 1e6] if quick else [1e2, 1e4, 1e6, 1e9, 1e12]
+    n = 48 if quick else 96
+    num_pairs = num_pairs or (40 if quick else 200)
+    result = ExperimentResult(name="E3-scale-free")
+    for target_delta, graph in aspect_ratio_suite(list(deltas), n=n, seed=seed + 21):
+        oracle = DistanceOracle(graph)
+        measured_delta = oracle.aspect_ratio()
+        for scheme in ("agm", "awerbuch-peleg"):
+            kwargs = {"params": AGMParams.experiment()} if scheme == "agm" else {}
+            row = evaluate_scheme_on_graph(scheme, graph, k, num_pairs=num_pairs,
+                                           seed=seed, oracle=oracle, scheme_kwargs=kwargs)
+            row["target_delta"] = target_delta
+            row["measured_delta"] = measured_delta
+            result.add_row(**row)
+    return result
+
+
+def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
+    result = run(quick=quick)
+    print(format_table(
+        result.rows,
+        columns=["scheme", "target_delta", "measured_delta", "max_table_bits",
+                 "avg_table_bits", "max_stretch", "failures"],
+        title="E3: table size vs aspect ratio (scale-free claim)"))
+    for scheme in ("agm", "awerbuch-peleg"):
+        rows = result.filter(scheme=scheme)
+        print(format_series(
+            [r["target_delta"] for r in rows],
+            [float(r["max_table_bits"]) for r in rows],
+            x_label="aspect ratio", y_label="max table bits",
+            title=f"{scheme}: space vs aspect ratio"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

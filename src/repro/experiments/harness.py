@@ -1,0 +1,110 @@
+"""Experiment runner: schemes x graphs x k, with stretch and space measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.factory import build_scheme
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.metrics import graph_summary
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.simulator import RoutingSimulator
+
+
+@dataclass
+class ExperimentResult:
+    """A flat table of measurement rows plus free-form metadata."""
+
+    name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **fields) -> None:
+        """Append one measurement row."""
+        self.rows.append(dict(fields))
+
+    def column(self, key: str) -> List[object]:
+        """Extract one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria) -> List[Dict[str, object]]:
+        """Rows matching all the given field values."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+
+def evaluate_scheme_on_graph(
+    scheme_name: str,
+    graph: WeightedGraph,
+    k: int,
+    num_pairs: int = 150,
+    seed: int = 0,
+    oracle: Optional[DistanceOracle] = None,
+    scheme_kwargs: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Build one scheme on one graph and measure stretch, space and build time."""
+    oracle = oracle or DistanceOracle(graph)
+    simulator = RoutingSimulator(graph, oracle=oracle)
+    start = time.perf_counter()
+    scheme = build_scheme(scheme_name, graph, k=k, seed=seed, oracle=oracle,
+                          **(scheme_kwargs or {}))
+    build_seconds = time.perf_counter() - start
+    report = simulator.evaluate(scheme, num_pairs=num_pairs, seed=seed + 1)
+    row: Dict[str, object] = {
+        "scheme": scheme_name,
+        "k": k,
+        "n": graph.n,
+        "m": graph.num_edges,
+        "max_stretch": report.max_stretch,
+        "avg_stretch": report.avg_stretch,
+        "median_stretch": report.median_stretch,
+        "p95_stretch": report.p95_stretch,
+        "failures": report.failures,
+        "max_table_bits": report.max_table_bits,
+        "avg_table_bits": report.avg_table_bits,
+        "max_label_bits": report.max_label_bits,
+        "header_bits": report.max_header_bits,
+        "build_seconds": build_seconds,
+    }
+    if hasattr(scheme, "fallback_uses"):
+        row["fallback_uses"] = scheme.fallback_uses
+    return row
+
+
+def run_matrix(
+    name: str,
+    schemes: Sequence[str],
+    graphs: Sequence[tuple],
+    ks: Sequence[int],
+    num_pairs: int = 150,
+    seed: int = 0,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+) -> ExperimentResult:
+    """Run every (scheme, graph, k) combination.
+
+    Parameters
+    ----------
+    graphs:
+        Sequence of ``(graph_label, WeightedGraph)`` pairs.
+    scheme_kwargs:
+        Optional per-scheme extra constructor arguments.
+    """
+    result = ExperimentResult(name=name)
+    for graph_label, graph in graphs:
+        oracle = DistanceOracle(graph)
+        summary = graph_summary(graph, oracle)
+        for k in ks:
+            for scheme_name in schemes:
+                kwargs = (scheme_kwargs or {}).get(scheme_name, {})
+                row = evaluate_scheme_on_graph(
+                    scheme_name, graph, k, num_pairs=num_pairs, seed=seed,
+                    oracle=oracle, scheme_kwargs=kwargs)
+                row["graph"] = graph_label
+                row["aspect_ratio"] = summary.aspect_ratio
+                result.add_row(**row)
+    return result

@@ -1,0 +1,87 @@
+"""Workload definitions shared by experiments, benches and examples.
+
+A workload is a named, seeded graph instance.  The standard suite mirrors the
+graph families listed in DESIGN.md's experiment index; every entry has a
+``quick`` size (used in CI / default bench runs) and a ``full`` size (used
+when the environment variable ``REPRO_BENCH_FULL`` is set).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    random_geometric_graph,
+    rescale_aspect_ratio,
+    ring_of_cliques,
+)
+from repro.graphs.graph import WeightedGraph
+
+
+def full_mode() -> bool:
+    """Whether the benches should use the larger workload sizes."""
+    return bool(os.environ.get("REPRO_BENCH_FULL"))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named recipe producing a workload graph."""
+
+    name: str
+    family: str
+    quick_n: int
+    full_n: int
+    seed: int = 0
+
+    def build(self, quick: bool = True, seed: Optional[int] = None) -> WeightedGraph:
+        """Materialize the workload graph."""
+        n = self.quick_n if quick else self.full_n
+        return make_workload(self.family, n, seed=self.seed if seed is None else seed)
+
+
+_BUILDERS: Dict[str, Callable[[int, Optional[int]], WeightedGraph]] = {
+    "geometric": lambda n, seed: random_geometric_graph(n, seed=seed),
+    "erdos-renyi": lambda n, seed: erdos_renyi_graph(n, seed=seed),
+    "grid": lambda n, seed: grid_graph(max(int(round(n ** 0.5)), 2),
+                                       max(int(round(n ** 0.5)), 2), seed=seed),
+    "barabasi-albert": lambda n, seed: barabasi_albert_graph(n, seed=seed),
+    "ring-of-cliques": lambda n, seed: ring_of_cliques(max(n // 8, 3), 8, seed=seed),
+}
+
+
+def make_workload(family: str, n: int, seed: Optional[int] = None) -> WeightedGraph:
+    """Build a workload graph of the named family with roughly ``n`` nodes."""
+    if family not in _BUILDERS:
+        raise ValueError(f"unknown workload family {family!r}; choose from {sorted(_BUILDERS)}")
+    return _BUILDERS[family](n, seed)
+
+
+def standard_suite(quick: bool = True) -> List[WorkloadSpec]:
+    """The graph suite used by experiments E1, E2 and E4."""
+    specs = [
+        WorkloadSpec("geometric", "geometric", quick_n=96, full_n=300, seed=11),
+        WorkloadSpec("erdos-renyi", "erdos-renyi", quick_n=96, full_n=300, seed=12),
+        WorkloadSpec("grid", "grid", quick_n=100, full_n=256, seed=13),
+        WorkloadSpec("barabasi-albert", "barabasi-albert", quick_n=96, full_n=300, seed=14),
+    ]
+    return specs
+
+
+def aspect_ratio_suite(deltas: Optional[List[float]] = None, n: int = 72,
+                       seed: int = 21) -> List[tuple]:
+    """Graphs with a fixed topology and increasing aspect ratio (experiment E3).
+
+    Returns a list of ``(target_delta, graph)`` pairs.
+    """
+    if deltas is None:
+        deltas = [1e2, 1e4, 1e6, 1e9, 1e12]
+    base = random_geometric_graph(n, weights="unit", seed=seed)
+    out = []
+    for i, delta in enumerate(deltas):
+        out.append((delta, rescale_aspect_ratio(base, delta, seed=seed + i + 1)))
+    return out

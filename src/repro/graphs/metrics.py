@@ -1,0 +1,104 @@
+"""Graph metrics used by the experiments: aspect ratio, diameter, density profiles."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+
+
+def aspect_ratio(graph: WeightedGraph, oracle: Optional[DistanceOracle] = None) -> float:
+    """Aspect ratio Δ = (max pairwise distance) / (min positive pairwise distance)."""
+    oracle = oracle or DistanceOracle(graph)
+    return oracle.aspect_ratio()
+
+
+def weighted_diameter(graph: WeightedGraph, oracle: Optional[DistanceOracle] = None) -> float:
+    """Largest finite pairwise distance."""
+    oracle = oracle or DistanceOracle(graph)
+    return oracle.diameter()
+
+
+def ball_growth_profile(
+    oracle: DistanceOracle, node: int, num_scales: Optional[int] = None
+) -> List[int]:
+    """``|B(node, d_min * 2^j)|`` for j = 0, 1, ... until the ball covers the component."""
+    d_min = oracle.min_positive_distance()
+    sizes: List[int] = []
+    j = 0
+    total_reachable = int(np.count_nonzero(np.isfinite(oracle.row(node))))
+    while True:
+        size = oracle.ball_size(node, d_min * (2.0 ** j))
+        sizes.append(size)
+        if size >= total_reachable:
+            break
+        if num_scales is not None and len(sizes) >= num_scales:
+            break
+        j += 1
+    return sizes
+
+
+def doubling_dimension_estimate(oracle: DistanceOracle, sample: Sequence[int]) -> float:
+    """Crude doubling-dimension estimate: max over sampled nodes/scales of
+    ``log2(|B(u, 2r)| / |B(u, r)|)``."""
+    d_min = oracle.min_positive_distance()
+    diam = oracle.diameter()
+    if diam <= 0:
+        return 0.0
+    best = 0.0
+    scales = max(1, int(math.ceil(math.log2(max(diam / d_min, 2.0)))))
+    for u in sample:
+        for j in range(scales):
+            r = d_min * (2.0 ** j)
+            small = oracle.ball_size(u, r)
+            big = oracle.ball_size(u, 2 * r)
+            if small > 0 and big > small:
+                best = max(best, math.log2(big / small))
+    return best
+
+
+@dataclass
+class GraphSummary:
+    """Headline statistics of a workload graph (used in experiment reports)."""
+
+    n: int
+    m: int
+    min_weight: float
+    max_weight: float
+    diameter: float
+    aspect_ratio: float
+    max_degree: int
+    avg_degree: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "min_weight": self.min_weight,
+            "max_weight": self.max_weight,
+            "diameter": self.diameter,
+            "aspect_ratio": self.aspect_ratio,
+            "max_degree": self.max_degree,
+            "avg_degree": self.avg_degree,
+        }
+
+
+def graph_summary(graph: WeightedGraph, oracle: Optional[DistanceOracle] = None) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for reporting."""
+    oracle = oracle or DistanceOracle(graph)
+    degrees = [graph.degree(v) for v in range(graph.n)]
+    return GraphSummary(
+        n=graph.n,
+        m=graph.num_edges,
+        min_weight=graph.min_weight() if graph.num_edges else 0.0,
+        max_weight=graph.max_weight(),
+        diameter=oracle.diameter(),
+        aspect_ratio=oracle.aspect_ratio(),
+        max_degree=max(degrees) if degrees else 0,
+        avg_degree=float(np.mean(degrees)) if degrees else 0.0,
+    )

@@ -1,0 +1,5 @@
+"""Hashing substrate (Carter–Wegman universal hashing, name→digit hashing)."""
+
+from repro.hashing.universal import KWiseHash, DigitHash, BucketHash
+
+__all__ = ["KWiseHash", "DigitHash", "BucketHash"]

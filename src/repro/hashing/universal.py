@@ -1,0 +1,139 @@
+"""Universal / k-wise independent hashing.
+
+Lemma 4 of the paper needs a hash function ``h : names -> Sigma^k`` (with
+``Sigma = {0 .. n^{1/k}-1}``) that is ``Theta(log n)``-wise independent and
+representable in ``Theta(log^2 n)`` bits, citing Carter–Wegman [11].  The
+classic construction is a random polynomial of degree ``t-1`` over a prime
+field: ``h(x) = (a_{t-1} x^{t-1} + ... + a_1 x + a_0) mod p``, which is
+``t``-wise independent and needs ``t`` field elements of storage.
+
+:class:`KWiseHash` implements that polynomial family; :class:`DigitHash`
+post-processes its output into a fixed-length digit string over an alphabet
+of size ``sigma`` (the "hash name" of Lemma 4); :class:`BucketHash` reduces a
+name to a bucket index (used by the Lemma 7 dictionary distribution).
+Arbitrary hashable Python names are first folded to integers with a stable
+64-bit FNV-1a, so node names can be ints, strings, or tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.bitsize import BitBudget, bits_for_count
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+# A Mersenne prime comfortably above any 61-bit folded name.
+_PRIME = (1 << 61) - 1
+
+
+def _fold_name(name: Hashable) -> int:
+    """Stable 64-bit FNV-1a fold of an arbitrary hashable name."""
+    data = repr(name).encode("utf-8")
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h % _PRIME
+
+
+class KWiseHash:
+    """A ``t``-wise independent hash family member over the field ``GF(p)``.
+
+    Parameters
+    ----------
+    independence:
+        The degree of independence ``t`` (the polynomial has ``t`` random
+        coefficients).  The paper uses ``t = Theta(log n)``.
+    seed:
+        Randomness for drawing the coefficients.
+    """
+
+    def __init__(self, independence: int, seed=None) -> None:
+        require(independence >= 1, "independence must be >= 1")
+        rng = make_rng(seed)
+        self.independence = int(independence)
+        # The leading coefficient may be zero; independence is unaffected.
+        self.coefficients: List[int] = [
+            int(rng.integers(0, _PRIME)) for _ in range(self.independence)
+        ]
+
+    def value(self, name: Hashable) -> int:
+        """Hash ``name`` to an integer in ``[0, p)`` via Horner evaluation."""
+        x = _fold_name(name)
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = (acc * x + c) % _PRIME
+        return acc
+
+    def storage_bits(self) -> int:
+        """Bits needed to store this function (t field elements)."""
+        return self.independence * 61
+
+    def __call__(self, name: Hashable) -> int:
+        return self.value(name)
+
+
+class DigitHash:
+    """Hash arbitrary names to fixed-length digit strings over ``Sigma = {0..sigma-1}``.
+
+    This is the "hash name" ``h(v) in Sigma^k`` of Lemma 4.  Successive digits
+    are extracted from independent :class:`KWiseHash` functions so that the
+    prefix-load property the lemma needs (no digit-string prefix is shared by
+    too many nodes) holds with high probability.
+    """
+
+    def __init__(self, sigma: int, length: int, independence: int = 32, seed=None) -> None:
+        require(sigma >= 1, "alphabet size must be >= 1")
+        require(length >= 1, "digit-string length must be >= 1")
+        self.sigma = int(sigma)
+        self.length = int(length)
+        rng = make_rng(seed)
+        seeds = rng.integers(0, 2**31 - 1, size=self.length)
+        self._functions = [KWiseHash(independence, seed=int(s)) for s in seeds]
+
+    def digits(self, name: Hashable) -> Tuple[int, ...]:
+        """The full digit string ``h(name)`` of length ``length``."""
+        return tuple(f.value(name) % self.sigma for f in self._functions)
+
+    def prefix(self, name: Hashable, j: int) -> Tuple[int, ...]:
+        """The first ``j`` digits of ``h(name)``."""
+        require(0 <= j <= self.length, f"prefix length {j} out of range")
+        return self.digits(name)[:j]
+
+    def storage_bits(self) -> int:
+        """Bits to store the function family."""
+        return sum(f.storage_bits() for f in self._functions)
+
+    def digit_bits(self) -> int:
+        """Bits per stored digit."""
+        return bits_for_count(max(self.sigma - 1, 1))
+
+    def max_prefix_load(self, names: Sequence[Hashable], j: int) -> int:
+        """Largest number of ``names`` sharing one length-``j`` prefix (diagnostic)."""
+        from collections import Counter
+
+        counts = Counter(self.prefix(name, j) for name in names)
+        return max(counts.values()) if counts else 0
+
+
+class BucketHash:
+    """Hash names into ``num_buckets`` buckets (Lemma 7 dictionary distribution)."""
+
+    def __init__(self, num_buckets: int, independence: int = 8, seed=None) -> None:
+        require(num_buckets >= 1, "need at least one bucket")
+        self.num_buckets = int(num_buckets)
+        self._f = KWiseHash(independence, seed=seed)
+
+    def bucket(self, name: Hashable) -> int:
+        """Bucket index of ``name`` in ``[0, num_buckets)``."""
+        return self._f.value(name) % self.num_buckets
+
+    def storage_bits(self) -> int:
+        """Bits to store the function."""
+        return self._f.storage_bits() + bits_for_count(self.num_buckets)
+
+    def __call__(self, name: Hashable) -> int:
+        return self.bucket(name)

@@ -1,0 +1,15 @@
+"""Routing framework: scheme interfaces, routing tables, headers, and the simulator."""
+
+from repro.routing.messages import RouteResult, Header
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.routing.table import RoutingTable
+from repro.routing.simulator import RoutingSimulator, EvaluationReport
+
+__all__ = [
+    "RouteResult",
+    "Header",
+    "RoutingSchemeInstance",
+    "RoutingTable",
+    "RoutingSimulator",
+    "EvaluationReport",
+]

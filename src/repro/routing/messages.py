@@ -1,0 +1,101 @@
+"""Route results and message headers.
+
+A routing scheme answers a request ``route(source, destination_name)`` by
+*walking* the graph: the returned :class:`RouteResult` records the exact node
+sequence visited (including detours and backtracking — those are what stretch
+measures), plus bookkeeping about which phase/strategy found the destination
+and how large the message header had to be.
+
+:class:`Header` models the mutable state a message carries.  The paper's
+claim is that headers stay polylogarithmic (``~O(1)`` in their notation); the
+simulator reports the maximum header size observed over a walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.utils.bitsize import BitBudget
+
+
+@dataclass
+class Header:
+    """Message header carried while routing.
+
+    Fields mirror what the paper's scheme needs: the destination's (arbitrary)
+    name, the current phase index, which strategy is active, and an opaque
+    per-strategy payload (e.g. the Lemma-5 destination label once it has been
+    learned, or the error-return address).  ``payload_bits`` charges the
+    payload explicitly so header sizes can be reported honestly.
+    """
+
+    destination_name: Hashable
+    phase: int = 0
+    strategy: str = ""
+    payload_bits: int = 0
+
+    def size_bits(self, name_bits: int, phase_bits: int) -> int:
+        """Total header size in bits given the name/phase field widths."""
+        strategy_bits = 8  # small enum
+        return name_bits + phase_bits + strategy_bits + self.payload_bits
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one message.
+
+    Attributes
+    ----------
+    found:
+        Whether the destination was reached.
+    path:
+        The full node-index sequence walked, starting at the source and —
+        when ``found`` — ending at the destination.  Consecutive entries are
+        graph-adjacent; the simulator re-derives the cost from this sequence,
+        so schemes cannot under-report.
+    cost:
+        Weighted length of ``path`` as computed by the scheme (the simulator
+        cross-checks it).
+    phases_used:
+        Number of top-level phases (levels ``i``) the scheme went through.
+    strategy:
+        Which strategy found the destination ("sparse", "dense", "fallback",
+        or scheme-specific).
+    max_header_bits:
+        Largest header observed while routing.
+    notes:
+        Free-form diagnostics (negative responses, fallbacks fired, ...).
+    """
+
+    found: bool
+    path: List[int] = field(default_factory=list)
+    cost: float = 0.0
+    phases_used: int = 0
+    strategy: str = ""
+    max_header_bits: int = 0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hops(self) -> int:
+        """Number of edges traversed."""
+        return max(len(self.path) - 1, 0)
+
+    @property
+    def source(self) -> Optional[int]:
+        """First node of the walk (None for an empty path)."""
+        return self.path[0] if self.path else None
+
+    @property
+    def last_node(self) -> Optional[int]:
+        """Last node of the walk (None for an empty path)."""
+        return self.path[-1] if self.path else None
+
+    def extend(self, segment: List[int]) -> None:
+        """Append a walk segment, gluing the shared endpoint if present."""
+        if not segment:
+            return
+        if self.path and segment[0] == self.path[-1]:
+            self.path.extend(segment[1:])
+        else:
+            self.path.extend(segment)

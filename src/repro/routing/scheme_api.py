@@ -1,0 +1,91 @@
+"""Abstract interface implemented by every routing scheme in the library.
+
+A *scheme instance* is the result of preprocessing one graph: a set of
+per-node routing tables plus the logic to route by destination *name*.  The
+interface deliberately mirrors the quantities the paper trades off:
+
+* :meth:`route` — produce a walk to the destination (stretch is measured by
+  the simulator from the walk);
+* :meth:`table_bits` / :meth:`max_table_bits` — per-node space;
+* :meth:`header_bits` — worst-case message header size;
+* :meth:`label_bits` — for *labeled* schemes, the size of the topology-aware
+  address a sender must know (0 for name-independent schemes — that is the
+  whole point of the model).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.graph import WeightedGraph
+from repro.routing.messages import RouteResult
+from repro.routing.table import TableCollection
+
+
+class RoutingSchemeInstance(abc.ABC):
+    """Preprocessed routing state for one graph."""
+
+    #: short machine-readable scheme name ("agm", "cowen", ...)
+    scheme_name: str = "abstract"
+    #: whether node addresses are topology-dependent labels (labeled model)
+    labeled: bool = False
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self.graph = graph
+        self.tables = TableCollection(graph.n)
+
+    # -- routing ----------------------------------------------------------- #
+    @abc.abstractmethod
+    def route(self, source: int, destination_name: Hashable) -> RouteResult:
+        """Route from node index ``source`` to the node named ``destination_name``."""
+
+    def route_by_index(self, source: int, destination: int) -> RouteResult:
+        """Convenience wrapper: route to a destination given by node index."""
+        return self.route(source, self.graph.name_of(destination))
+
+    # -- space accounting ---------------------------------------------------- #
+    def table_bits(self, node: int) -> int:
+        """Size in bits of ``node``'s routing table."""
+        return self.tables.table_bits(node)
+
+    def max_table_bits(self) -> int:
+        """Largest routing table over all nodes (the paper's space measure)."""
+        return self.tables.max_bits()
+
+    def avg_table_bits(self) -> float:
+        """Average routing table size."""
+        return self.tables.avg_bits()
+
+    def total_bits(self) -> int:
+        """Total routing information in the network."""
+        return self.tables.total_bits()
+
+    def table_breakdown(self) -> Dict[str, int]:
+        """Total bits per table category (diagnostic)."""
+        return self.tables.breakdown()
+
+    def label_bits(self, node: int) -> int:
+        """Size of the routing *label* of ``node`` (0 for name-independent schemes)."""
+        return 0
+
+    def max_label_bits(self) -> int:
+        """Largest label over all nodes."""
+        return max(self.label_bits(v) for v in range(self.graph.n))
+
+    @abc.abstractmethod
+    def header_bits(self) -> int:
+        """Worst-case message header size in bits."""
+
+    # -- misc ---------------------------------------------------------------- #
+    def describe(self) -> Dict[str, object]:
+        """Headline facts about this instance (used in reports)."""
+        return {
+            "scheme": self.scheme_name,
+            "labeled": self.labeled,
+            "n": self.graph.n,
+            "max_table_bits": self.max_table_bits(),
+            "avg_table_bits": self.avg_table_bits(),
+            "max_label_bits": self.max_label_bits(),
+            "header_bits": self.header_bits(),
+        }

@@ -1,0 +1,197 @@
+"""Hop-by-hop evaluation of routing schemes.
+
+The simulator takes a scheme instance, samples (or receives) source /
+destination pairs, asks the scheme to route each one, **independently
+verifies** the returned walk (consecutive nodes must be graph-adjacent; the
+cost is recomputed from edge weights), and aggregates stretch statistics
+against exact shortest-path distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.messages import RouteResult
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+
+class InvalidRouteError(RuntimeError):
+    """Raised when a scheme returns a walk that does not exist in the graph."""
+
+
+@dataclass
+class PairOutcome:
+    """Evaluation of one routed pair."""
+
+    source: int
+    destination: int
+    shortest: float
+    cost: float
+    stretch: float
+    hops: int
+    found: bool
+    strategy: str
+    phases_used: int
+    max_header_bits: int
+
+
+@dataclass
+class EvaluationReport:
+    """Aggregated routing quality over a set of pairs."""
+
+    scheme: str
+    n: int
+    num_pairs: int
+    max_stretch: float
+    avg_stretch: float
+    median_stretch: float
+    p95_stretch: float
+    max_header_bits: int
+    failures: int
+    max_table_bits: int
+    avg_table_bits: float
+    max_label_bits: int
+    outcomes: List[PairOutcome] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for tabular reporting (outcomes omitted)."""
+        return {
+            "scheme": self.scheme,
+            "n": self.n,
+            "num_pairs": self.num_pairs,
+            "max_stretch": self.max_stretch,
+            "avg_stretch": self.avg_stretch,
+            "median_stretch": self.median_stretch,
+            "p95_stretch": self.p95_stretch,
+            "max_header_bits": self.max_header_bits,
+            "failures": self.failures,
+            "max_table_bits": self.max_table_bits,
+            "avg_table_bits": self.avg_table_bits,
+            "max_label_bits": self.max_label_bits,
+        }
+
+
+class RoutingSimulator:
+    """Evaluates scheme instances on a fixed graph."""
+
+    def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None) -> None:
+        self.graph = graph
+        self.oracle = oracle or DistanceOracle(graph)
+
+    # ------------------------------------------------------------------ #
+    # pair sampling
+    # ------------------------------------------------------------------ #
+    def sample_pairs(self, num_pairs: int, seed=None,
+                     distinct: bool = True) -> List[Tuple[int, int]]:
+        """Sample source/destination pairs uniformly among connected pairs."""
+        rng = make_rng(seed)
+        pairs: List[Tuple[int, int]] = []
+        n = self.graph.n
+        require(n >= 2, "need at least two nodes to sample pairs")
+        attempts = 0
+        while len(pairs) < num_pairs and attempts < 100 * num_pairs + 1000:
+            attempts += 1
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if distinct and u == v:
+                continue
+            if not np.isfinite(self.oracle.dist(u, v)):
+                continue
+            pairs.append((u, v))
+        return pairs
+
+    def all_pairs(self) -> List[Tuple[int, int]]:
+        """Every ordered connected pair (use only for small graphs)."""
+        out = []
+        for u in range(self.graph.n):
+            for v in range(self.graph.n):
+                if u != v and np.isfinite(self.oracle.dist(u, v)):
+                    out.append((u, v))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def verify_walk(self, result: RouteResult, source: int, destination: int) -> float:
+        """Check the walk is feasible and return its true weighted cost."""
+        path = result.path
+        require(len(path) >= 1, "route result has an empty path")
+        if path[0] != source:
+            raise InvalidRouteError(
+                f"walk starts at {path[0]}, expected source {source}")
+        cost = 0.0
+        for a, b in zip(path, path[1:]):
+            if a == b:
+                continue
+            if not self.graph.has_edge(a, b):
+                raise InvalidRouteError(f"walk uses non-existent edge ({a}, {b})")
+            cost += self.graph.edge_weight(a, b)
+        if result.found and path[-1] != destination:
+            raise InvalidRouteError(
+                f"scheme reports 'found' but walk ends at {path[-1]}, "
+                f"destination is {destination}")
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        scheme: RoutingSchemeInstance,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        num_pairs: int = 200,
+        seed=None,
+        keep_outcomes: bool = False,
+    ) -> EvaluationReport:
+        """Route every pair through ``scheme`` and aggregate stretch statistics."""
+        if pairs is None:
+            pairs = self.sample_pairs(num_pairs, seed=seed)
+        outcomes: List[PairOutcome] = []
+        stretches: List[float] = []
+        failures = 0
+        max_header = 0
+        for u, v in pairs:
+            shortest = self.oracle.dist(u, v)
+            result = scheme.route(u, self.graph.name_of(v))
+            cost = self.verify_walk(result, u, v)
+            if not result.found:
+                failures += 1
+                stretch = float("inf")
+            elif shortest <= 0:
+                stretch = 1.0
+            else:
+                stretch = cost / shortest
+            stretches.append(stretch)
+            max_header = max(max_header, result.max_header_bits)
+            if keep_outcomes:
+                outcomes.append(PairOutcome(
+                    source=u, destination=v, shortest=shortest, cost=cost,
+                    stretch=stretch, hops=result.hops, found=result.found,
+                    strategy=result.strategy, phases_used=result.phases_used,
+                    max_header_bits=result.max_header_bits,
+                ))
+        finite = [s for s in stretches if np.isfinite(s)]
+        if not finite:
+            finite = [float("inf")]
+        return EvaluationReport(
+            scheme=scheme.scheme_name,
+            n=self.graph.n,
+            num_pairs=len(pairs),
+            max_stretch=float(max(stretches)) if stretches else 0.0,
+            avg_stretch=float(np.mean(finite)),
+            median_stretch=float(np.median(finite)),
+            p95_stretch=float(np.percentile(finite, 95)),
+            max_header_bits=max_header,
+            failures=failures,
+            max_table_bits=scheme.max_table_bits(),
+            avg_table_bits=scheme.avg_table_bits(),
+            max_label_bits=scheme.max_label_bits(),
+            outcomes=outcomes,
+        )

@@ -1,0 +1,96 @@
+"""Routing-table containers with explicit bit accounting.
+
+Schemes store whatever Python structures they like, but every piece of
+information a node would have to hold in a real deployment must be charged to
+that node's :class:`RoutingTable` so the space side of the trade-off can be
+reported in bits.  A :class:`RoutingTable` is a thin wrapper around
+:class:`~repro.utils.bitsize.BitBudget` with a key/value store for the data
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, Mapping, Optional
+
+from repro.utils.bitsize import BitBudget
+
+
+class RoutingTable:
+    """Per-node routing information plus its declared size in bits."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: Dict[Hashable, Any] = {}
+        self.budget = BitBudget()
+
+    # -- data -------------------------------------------------------------- #
+    def put(self, key: Hashable, value: Any, bits: int, category: str = "entries") -> None:
+        """Store ``value`` under ``key`` and charge ``bits`` to ``category``."""
+        self._entries[key] = value
+        self.budget.add(category, bits)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up an entry."""
+        return self._entries.get(key, default)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- accounting --------------------------------------------------------- #
+    def charge(self, category: str, bits: int, count: int = 1) -> None:
+        """Charge bits without storing data (e.g. for a shared hash function)."""
+        self.budget.add(category, bits, count)
+
+    def size_bits(self) -> int:
+        """Total declared size of this table."""
+        return self.budget.total()
+
+    def breakdown(self) -> Mapping[str, int]:
+        """Bits per category."""
+        return self.budget.breakdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingTable(node={self.node}, bits={self.size_bits()}, entries={len(self)})"
+
+
+class TableCollection:
+    """The tables of all nodes of one scheme instance, with summary statistics."""
+
+    def __init__(self, n: int) -> None:
+        self.tables = [RoutingTable(v) for v in range(n)]
+
+    def __getitem__(self, node: int) -> RoutingTable:
+        return self.tables[node]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def table_bits(self, node: int) -> int:
+        """Size of one node's table."""
+        return self.tables[node].size_bits()
+
+    def max_bits(self) -> int:
+        """Largest table (the quantity the paper's bound is about)."""
+        return max(t.size_bits() for t in self.tables)
+
+    def avg_bits(self) -> float:
+        """Average table size."""
+        return sum(t.size_bits() for t in self.tables) / max(len(self.tables), 1)
+
+    def total_bits(self) -> int:
+        """Sum of all table sizes."""
+        return sum(t.size_bits() for t in self.tables)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Total bits per category across all nodes."""
+        out: Dict[str, int] = {}
+        for t in self.tables:
+            for k, v in t.breakdown().items():
+                out[k] = out.get(k, 0) + v
+        return out

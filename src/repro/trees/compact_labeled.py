@@ -1,0 +1,210 @@
+"""Labeled tree routing with compact tables (Lemma 5).
+
+Lemma 5 (Fraigniaud–Gavoille [15], Thorup–Zwick [29]): *for every integer
+``k > 1`` and weighted tree with ``m`` nodes there is a labeled routing
+scheme that routes optimally from any source to any destination given the
+destination's label; storage is ``O(m^{1/k} log m)`` bits per node and labels
+and headers are ``O(k log m)`` bits.*
+
+The implementation uses the ``b``-heavy-child decomposition with
+``b = ceil(m^{1/k})``:
+
+* a child ``c`` of ``v`` is **heavy** when ``subtree_size(c) >= subtree_size(v)/b``
+  — a node has at most ``b`` heavy children;
+* every root-to-node path contains at most ``k`` **light** edges, because each
+  light descent divides the subtree size by more than ``b`` and ``b^k >= m``;
+* a node's *table* holds its own DFS interval, its parent port, and the
+  (interval, port) of each heavy child — ``O(b log m)`` bits;
+* a node's *label* holds its DFS-in number plus, for every light edge on its
+  root path, the pair (DFS-in of the edge's upper endpoint, port of the edge
+  at that endpoint) — ``O(k log m)`` bits.
+
+Routing at node ``x`` toward label ``L(t)``: if ``t`` is not in ``x``'s
+subtree, go to the parent; if it is, forward into the heavy child whose
+interval contains ``t`` if one exists, otherwise the label's light-edge list
+contains an entry for ``x`` and gives the port directly.  The walk follows
+the unique tree path, so the stretch is exactly 1.
+
+Ports are local edge indices (position of the neighbor in the node's sorted
+tree-neighbor list); in the standard routing model forwarding on a known port
+is free and costs no table space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.trees import Tree
+from repro.utils.bitsize import BitBudget, bits_for_count, bits_for_id
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class TreeLabel:
+    """Destination label: own DFS-in number + light-edge (origin DFS-in, port) list."""
+
+    dfs_in: int
+    light_edges: Tuple[Tuple[int, int], ...]
+
+    def size_bits(self, m: int) -> int:
+        """Size of the label for a tree with ``m`` nodes."""
+        idbits = bits_for_count(max(m - 1, 1))
+        # each light entry: origin id + port number (port <= degree <= m)
+        return idbits + len(self.light_edges) * 2 * idbits
+
+
+class CompactTreeRouting:
+    """Lemma 5 routing structure for one rooted tree.
+
+    Parameters
+    ----------
+    tree:
+        The rooted weighted tree.
+    k:
+        Trade-off parameter; ``b = ceil(m^{1/k})`` heavy children are kept
+        per node and labels contain at most ``k`` light-edge entries.
+    """
+
+    def __init__(self, tree: Tree, k: int = 2) -> None:
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.tree = tree
+        self.k = int(k)
+        self.m = tree.size
+        self.b = max(2, int(math.ceil(self.m ** (1.0 / self.k)))) if self.m > 1 else 1
+
+        # port numbering: position in the sorted tree-neighbor list
+        self._ports: Dict[int, List[int]] = {}
+        for v in tree.nodes:
+            neighbors = sorted(n for n, _ in tree.tree_neighbors(v))
+            self._ports[v] = neighbors
+
+        # heavy children per node
+        self.heavy_children: Dict[int, List[int]] = {}
+        for v in tree.nodes:
+            heavy = [
+                c for c in tree.children[v]
+                if tree.subtree_size[c] * self.b >= tree.subtree_size[v]
+            ]
+            self.heavy_children[v] = heavy
+
+        # labels: computed by a DFS that threads the light-edge list down
+        self._labels: Dict[int, TreeLabel] = {}
+        self._compute_labels()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _port_to(self, v: int, neighbor: int) -> int:
+        return self._ports[v].index(neighbor)
+
+    def _neighbor_on_port(self, v: int, port: int) -> int:
+        return self._ports[v][port]
+
+    def _compute_labels(self) -> None:
+        root = self.tree.root
+        stack: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = [(root, ())]
+        while stack:
+            node, light_list = stack.pop()
+            self._labels[node] = TreeLabel(self.tree.dfs_in[node], light_list)
+            heavy = set(self.heavy_children[node])
+            for c in self.tree.children[node]:
+                if c in heavy:
+                    stack.append((c, light_list))
+                else:
+                    entry = (self.tree.dfs_in[node], self._port_to(node, c))
+                    stack.append((c, light_list + (entry,)))
+
+    # ------------------------------------------------------------------ #
+    # public queries
+    # ------------------------------------------------------------------ #
+    def label_of(self, v: int) -> TreeLabel:
+        """The destination label of tree node ``v``."""
+        require(self.tree.contains(v), f"node {v} is not in the tree")
+        return self._labels[v]
+
+    def max_light_edges(self) -> int:
+        """Largest number of light-edge entries in any label (should be <= k)."""
+        return max((len(lbl.light_edges) for lbl in self._labels.values()), default=0)
+
+    def label_bits(self, v: int) -> int:
+        """Size in bits of ``v``'s label."""
+        return self.label_of(v).size_bits(self.m)
+
+    def max_label_bits(self) -> int:
+        """Largest label size."""
+        return max((self.label_bits(v) for v in self.tree.nodes), default=0)
+
+    def table_budget(self, v: int) -> BitBudget:
+        """Bit budget of node ``v``'s routing table."""
+        require(self.tree.contains(v), f"node {v} is not in the tree")
+        b = BitBudget()
+        idbits = bits_for_count(max(self.m - 1, 1))
+        degree = max(len(self._ports[v]), 1)
+        portbits = bits_for_id(degree)
+        b.add("own_interval", 2 * idbits)
+        if v != self.tree.root:
+            b.add("parent_port", portbits)
+        b.add("heavy_children", 2 * idbits + portbits, count=len(self.heavy_children[v]))
+        return b
+
+    def table_bits(self, v: int) -> int:
+        """Table size in bits of node ``v``."""
+        return self.table_budget(v).total()
+
+    def max_table_bits(self) -> int:
+        """Largest table in the tree."""
+        return max((self.table_bits(v) for v in self.tree.nodes), default=0)
+
+    def header_bits(self) -> int:
+        """Header size: the destination label travels in the header."""
+        return max((self.label_bits(v) for v in self.tree.nodes), default=0)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def next_hop(self, current: int, label: TreeLabel) -> Optional[int]:
+        """Next tree node toward the destination carrying ``label`` (None = arrived)."""
+        require(self.tree.contains(current), f"node {current} is not in the tree")
+        t_in = label.dfs_in
+        c_in = self.tree.dfs_in[current]
+        c_out = self.tree.dfs_out[current]
+        if t_in == c_in:
+            return None
+        if not (c_in <= t_in <= c_out):
+            require(current != self.tree.root,
+                    "destination label does not belong to this tree")
+            return self.tree.parent[current]
+        # destination is in our subtree: heavy child or light edge from the label
+        for c in self.heavy_children[current]:
+            if self.tree.dfs_in[c] <= t_in <= self.tree.dfs_out[c]:
+                return c
+        for origin, port in label.light_edges:
+            if origin == c_in:
+                return self._neighbor_on_port(current, port)
+        raise RuntimeError(
+            f"label of node with dfs_in={t_in} has no light-edge entry for node {current}; "
+            "the label does not belong to this tree")
+
+    def walk(self, source: int, target: int) -> Tuple[List[int], float]:
+        """Walk from ``source`` to ``target`` (both tree nodes); returns (path, cost)."""
+        label = self.label_of(target)
+        path = [source]
+        cost = 0.0
+        current = source
+        for _ in range(2 * self.m + 1):
+            nxt = self.next_hop(current, label)
+            if nxt is None:
+                return path, cost
+            cost += self._edge_weight(current, nxt)
+            path.append(nxt)
+            current = nxt
+        raise RuntimeError("compact tree routing walk did not terminate")
+
+    def _edge_weight(self, a: int, b: int) -> float:
+        if self.tree.parent.get(a) == b:
+            return self.tree.edge_weight[a]
+        if self.tree.parent.get(b) == a:
+            return self.tree.edge_weight[b]
+        raise RuntimeError(f"({a}, {b}) is not a tree edge")

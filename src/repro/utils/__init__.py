@@ -1,0 +1,25 @@
+"""Small shared utilities: RNG handling, bit-size accounting, validation."""
+
+from repro.utils.rng import make_rng, derive_rng, spawn_seeds
+from repro.utils.bitsize import (
+    ceil_log2,
+    bits_for_count,
+    bits_for_id,
+    bits_for_distance,
+    BitBudget,
+)
+from repro.utils.validation import require, check_probability, check_positive
+
+__all__ = [
+    "make_rng",
+    "derive_rng",
+    "spawn_seeds",
+    "ceil_log2",
+    "bits_for_count",
+    "bits_for_id",
+    "bits_for_distance",
+    "BitBudget",
+    "require",
+    "check_probability",
+    "check_positive",
+]

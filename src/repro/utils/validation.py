@@ -1,0 +1,49 @@
+"""Argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a caller passes structurally invalid arguments."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require a strictly positive number and return it."""
+    require(value > 0, f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Require a non-negative number and return it."""
+    require(value >= 0, f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require a probability in ``[0, 1]`` and return it."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_index(value: int, limit: int, name: str) -> int:
+    """Require an integer index in ``[0, limit)`` and return it."""
+    require(isinstance(value, (int,)) and not isinstance(value, bool),
+            f"{name} must be an int, got {type(value).__name__}")
+    require(0 <= value < limit, f"{name} must be in [0, {limit}), got {value}")
+    return int(value)
+
+
+def check_type(value: Any, types: tuple, name: str) -> Any:
+    """Require ``value`` to be an instance of ``types`` and return it."""
+    require(isinstance(value, types),
+            f"{name} must be one of {tuple(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}")
+    return value

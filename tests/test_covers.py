@@ -1,0 +1,137 @@
+"""Tests for Lemma 6: sparse covers and tree covers."""
+
+import math
+
+import pytest
+
+from repro.covers.sparse_cover import build_sparse_cover
+from repro.covers.tree_cover import build_tree_cover
+from repro.graphs.generators import erdos_renyi_graph, grid_graph, path_graph
+from repro.graphs.shortest_paths import DistanceOracle
+
+
+@pytest.fixture(scope="module")
+def grid_and_oracle():
+    g = grid_graph(6, 6, weights="unit", seed=1)
+    return g, DistanceOracle(g)
+
+
+@pytest.fixture(scope="module", params=[1.0, 2.0, 4.0])
+def rho(request):
+    return request.param
+
+
+K = 2
+
+
+class TestSparseCover:
+    def test_every_ball_is_covered(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_sparse_cover(g, K, rho, oracle=oracle)
+        for v in range(g.n):
+            cluster = cover.cluster_of_home(v)
+            ball = set(oracle.ball(v, rho))
+            assert ball <= cluster.nodes, f"ball of {v} not covered"
+
+    def test_home_map_complete(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_sparse_cover(g, K, rho, oracle=oracle)
+        assert set(cover.home) == set(range(g.n))
+
+    def test_membership_sparsity(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_sparse_cover(g, K, rho, oracle=oracle)
+        bound = 4 * K * math.ceil(g.n ** (1.0 / K)) + 4
+        assert cover.max_membership(g.n) <= bound
+
+    def test_kernel_centers_partition_home_assignments(self, grid_and_oracle):
+        g, oracle = grid_and_oracle
+        cover = build_sparse_cover(g, K, 2.0, oracle=oracle)
+        seen = set()
+        for cluster in cover.clusters:
+            assert cluster.kernel_centers, "cluster with empty kernel"
+            assert cluster.kernel_centers <= cluster.nodes
+            assert not (cluster.kernel_centers & seen)
+            seen |= cluster.kernel_centers
+        assert seen == set(range(g.n))
+
+    def test_node_subset_restriction(self, grid_and_oracle):
+        g, oracle = grid_and_oracle
+        subset = list(range(0, g.n, 2))
+        cover = build_sparse_cover(g, K, 2.0, oracle=oracle, nodes=subset)
+        assert set(cover.home) == set(subset)
+        for cluster in cover.clusters:
+            assert cluster.nodes <= set(subset)
+
+    def test_invalid_arguments(self, grid_and_oracle):
+        g, oracle = grid_and_oracle
+        with pytest.raises(Exception):
+            build_sparse_cover(g, 0, 1.0, oracle=oracle)
+        with pytest.raises(Exception):
+            build_sparse_cover(g, 2, 0.0, oracle=oracle)
+
+
+class TestTreeCover:
+    def test_cover_property_for_home_trees(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, rho, oracle=oracle)
+        for v in range(g.n):
+            assert cover.covers_ball(v, oracle), f"home tree of {v} misses its ball"
+
+    def test_radius_bound(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, rho, oracle=oracle)
+        assert cover.max_radius() <= (2 * K + 3) * rho + 1e-9
+
+    def test_max_edge_bound(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, rho, oracle=oracle)
+        assert cover.max_edge() <= 2 * rho + 1e-9
+
+    def test_membership_bound(self, grid_and_oracle, rho):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, rho, oracle=oracle)
+        bound = 4 * K * math.ceil(g.n ** (1.0 / K)) + 4
+        assert cover.max_membership() <= bound
+
+    def test_trees_containing_consistent_with_home(self, grid_and_oracle):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, 2.0, oracle=oracle)
+        for v in range(0, g.n, 5):
+            containing = cover.trees_containing(v)
+            assert cover.home[v] in containing
+
+    def test_k3_on_weighted_er_graph(self):
+        g = erdos_renyi_graph(40, seed=8)
+        oracle = DistanceOracle(g)
+        rho = oracle.diameter() / 4
+        cover = build_tree_cover(g, 3, rho, oracle=oracle)
+        for v in range(g.n):
+            assert cover.covers_ball(v, oracle)
+        assert cover.max_edge() <= 2 * rho + 1e-9
+
+    def test_large_rho_gives_single_tree_per_component(self, grid_and_oracle):
+        g, oracle = grid_and_oracle
+        cover = build_tree_cover(g, K, oracle.diameter() * 2, oracle=oracle)
+        assert len(cover.trees) == 1
+        assert cover.trees[0].size == g.n
+
+    def test_tiny_rho_gives_small_trees(self):
+        g = path_graph(12, weights="unit", seed=0)
+        oracle = DistanceOracle(g)
+        cover = build_tree_cover(g, 2, 1.0, oracle=oracle)
+        assert cover.max_radius() <= (2 * 2 + 3) * 1.0
+        for v in range(g.n):
+            assert cover.covers_ball(v, oracle)
+
+    def test_disconnected_graph_handled_per_component(self):
+        from repro.graphs.graph import WeightedGraph
+
+        g = WeightedGraph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+        oracle = DistanceOracle(g)
+        cover = build_tree_cover(g, 2, 1.0, oracle=oracle)
+        for v in range(g.n):
+            assert cover.covers_ball(v, oracle)
+        for tree in cover.trees:
+            nodes = set(tree.nodes)
+            assert nodes <= {0, 1, 2} or nodes <= {3, 4, 5}

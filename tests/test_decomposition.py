@@ -1,0 +1,164 @@
+"""Tests for the sparse/dense neighborhood decomposition (Definitions 1-2, Lemma 2)."""
+
+import math
+
+import pytest
+
+from repro.core.decomposition import NeighborhoodDecomposition
+from repro.core.params import AGMParams
+from repro.graphs.generators import dumbbell_graph, path_graph
+from repro.graphs.shortest_paths import DistanceOracle
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def decomposition(request, small_geometric, geometric_oracle):
+    return NeighborhoodDecomposition(small_geometric, request.param, oracle=geometric_oracle)
+
+
+class TestRanges:
+    def test_range_zero_is_zero(self, decomposition):
+        for u in range(decomposition.n):
+            assert decomposition.range(u, 0) == 0
+
+    def test_ranges_strictly_increasing(self, decomposition):
+        for u in range(decomposition.n):
+            ranges = decomposition.ranges_of(u)
+            assert all(a < b for a, b in zip(ranges, ranges[1:]))
+
+    def test_growth_condition_definition1(self, decomposition):
+        """|A(u,i+1)| >= n^{1/k} |A(u,i)| whenever the next range is not the sentinel."""
+        growth = decomposition.growth
+        for u in range(decomposition.n):
+            for i in range(decomposition.k):
+                nxt = decomposition.range(u, i + 1)
+                if nxt >= decomposition.top_exp:
+                    continue
+                assert (decomposition.neighborhood_size(u, i + 1)
+                        >= growth * decomposition.neighborhood_size(u, i) - 1e-6)
+
+    def test_range_is_minimal(self, decomposition):
+        """No smaller exponent already satisfies the growth condition."""
+        growth = decomposition.growth
+        oracle = decomposition.oracle
+        for u in range(0, decomposition.n, 7):
+            for i in range(decomposition.k):
+                nxt = decomposition.range(u, i + 1)
+                prev_size = decomposition.neighborhood_size(u, i)
+                lo = decomposition.range(u, i) + 1
+                for j in range(max(lo, 1), min(nxt, decomposition.max_exp + 1)):
+                    size = oracle.ball_size(u, decomposition.radius_of_exponent(j))
+                    assert size < growth * prev_size - 1e-6
+
+    def test_top_level_neighborhood_covers_component(self, decomposition, geometric_oracle):
+        import numpy as np
+
+        for u in range(0, decomposition.n, 5):
+            reachable = int(np.count_nonzero(np.isfinite(geometric_oracle.row(u))))
+            assert decomposition.neighborhood_size(u, decomposition.k) == reachable
+
+    def test_level_zero_neighborhood_is_singleton(self, decomposition):
+        assert decomposition.neighborhood(3, 0) == [3]
+        assert decomposition.neighborhood_size(3, 0) == 1
+
+    def test_out_of_range_level_rejected(self, decomposition):
+        with pytest.raises(Exception):
+            decomposition.range(0, decomposition.k + 2)
+        with pytest.raises(Exception):
+            decomposition.is_dense(0, decomposition.k + 1)
+
+
+class TestDenseSparse:
+    def test_classification_matches_definition2(self, decomposition):
+        gap = decomposition.params.dense_gap
+        for u in range(decomposition.n):
+            for i in range(decomposition.k + 1):
+                a_i, a_next = decomposition.range(u, i), decomposition.range(u, i + 1)
+                expected = a_i < a_next <= a_i + gap
+                assert decomposition.is_dense(u, i) == expected
+                assert decomposition.is_sparse(u, i) != decomposition.is_dense(u, i)
+
+    def test_dense_plus_sparse_levels_partition(self, decomposition):
+        for u in range(0, decomposition.n, 6):
+            dense = set(decomposition.dense_levels(u))
+            sparse = set(decomposition.sparse_levels(u))
+            assert dense | sparse == set(range(decomposition.k + 1))
+            assert not dense & sparse
+
+    def test_clique_side_of_dumbbell_has_a_dense_level(self):
+        g = dumbbell_graph(12, bridge_weight=4000.0, weights="unit", seed=1)
+        decomposition = NeighborhoodDecomposition(g, 2, oracle=DistanceOracle(g))
+        assert any(decomposition.dense_levels(u) for u in range(g.n))
+
+    def test_path_graph_levels_mostly_sparse_for_small_k(self):
+        g = path_graph(40, weights="unit", seed=1)
+        decomposition = NeighborhoodDecomposition(g, 2, oracle=DistanceOracle(g))
+        sparse_fraction = sum(len(decomposition.sparse_levels(u)) for u in range(g.n)) / (
+            g.n * (decomposition.k + 1))
+        assert sparse_fraction > 0.5
+
+
+class TestGuaranteeBalls:
+    def test_f_ball_inside_neighborhood(self, decomposition):
+        for u in range(0, decomposition.n, 7):
+            for i in range(1, decomposition.k + 1):
+                assert set(decomposition.f_ball(u, i)) <= set(decomposition.neighborhood(u, i))
+
+    def test_e_radius_formula(self, decomposition):
+        u = 1
+        for i in range(decomposition.k + 1):
+            expected = decomposition.radius_of_exponent(
+                decomposition.range(u, i + 1)) / decomposition.params.sparse_shrink
+            assert decomposition.e_radius(u, i) == pytest.approx(expected)
+
+    def test_top_level_guarantee_ball_covers_component(self, decomposition, geometric_oracle):
+        import numpy as np
+
+        for u in range(0, decomposition.n, 9):
+            reachable = int(np.count_nonzero(np.isfinite(geometric_oracle.row(u))))
+            assert len(decomposition.guarantee_ball(u, decomposition.k)) == reachable
+
+    def test_lemma2_dense_neighborhoods(self, decomposition):
+        """Lemma 2: i dense for u and v in F(u,i)  =>  a(u,i) in R(v)."""
+        for u in range(decomposition.n):
+            for i in range(decomposition.k + 1):
+                if not decomposition.is_dense(u, i):
+                    continue
+                a_ui = decomposition.range(u, i)
+                for v in decomposition.f_ball(u, i):
+                    assert a_ui in decomposition.extended_range_set(v), (
+                        f"Lemma 2 violated at u={u}, i={i}, v={v}")
+
+
+class TestRangeSets:
+    def test_range_set_contents(self, decomposition):
+        for u in range(0, decomposition.n, 11):
+            assert decomposition.range_set(u) == set(
+                decomposition.ranges_of(u)[: decomposition.k + 1])
+
+    def test_extended_range_window(self, decomposition):
+        params = decomposition.params
+        for u in range(0, decomposition.n, 11):
+            extended = decomposition.extended_range_set(u)
+            for a in decomposition.range_set(u):
+                for j in range(max(a - params.extend_above, 0), a + params.extend_below + 1):
+                    assert j in extended
+
+    def test_extended_range_size_linear_in_k(self, decomposition):
+        window = decomposition.params.extend_above + decomposition.params.extend_below + 1
+        for u in range(decomposition.n):
+            assert len(decomposition.extended_range_set(u)) <= (decomposition.k + 1) * window
+
+    def test_extended_range_members_consistency(self, decomposition):
+        members = decomposition.extended_range_members()
+        for j, nodes in members.items():
+            for v in nodes:
+                assert j in decomposition.extended_range_set(v)
+        for u in range(decomposition.n):
+            for j in decomposition.extended_range_set(u):
+                assert u in members[j]
+
+    def test_describe_shape(self, decomposition):
+        info = decomposition.describe(0)
+        assert len(info["ranges"]) == decomposition.k + 2
+        assert len(info["sizes"]) == decomposition.k + 1
+        assert len(info["dense"]) == decomposition.k + 1

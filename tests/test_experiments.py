@@ -1,0 +1,123 @@
+"""Tests for the experiment harness, workloads, reporting and the exp_* modules."""
+
+import pytest
+
+from repro.experiments import exp_comparison, exp_lemma_properties, exp_scale_free
+from repro.experiments.harness import ExperimentResult, evaluate_scheme_on_graph, run_matrix
+from repro.experiments.reporting import format_series, format_table, results_to_csv
+from repro.experiments.workloads import (
+    WorkloadSpec,
+    aspect_ratio_suite,
+    full_mode,
+    make_workload,
+    standard_suite,
+)
+
+
+class TestWorkloads:
+    def test_standard_suite_builds_connected_graphs(self):
+        for spec in standard_suite(quick=True):
+            g = spec.build(quick=True)
+            assert g.is_connected()
+            assert g.n >= 30
+
+    def test_workload_spec_sizes(self):
+        spec = WorkloadSpec("x", "geometric", quick_n=30, full_n=60, seed=1)
+        assert spec.build(quick=True).n <= spec.build(quick=False).n
+
+    def test_make_workload_families(self):
+        for family in ("geometric", "grid", "erdos-renyi"):
+            assert make_workload(family, 36, seed=2).is_connected()
+        with pytest.raises(ValueError):
+            make_workload("unknown", 10)
+
+    def test_aspect_ratio_suite_monotone(self):
+        from repro.graphs.metrics import aspect_ratio
+
+        suite = aspect_ratio_suite([1e2, 1e5], n=30, seed=5)
+        assert len(suite) == 2
+        deltas = [aspect_ratio(g) for _, g in suite]
+        assert deltas[1] > deltas[0]
+
+    def test_full_mode_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not full_mode()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert full_mode()
+
+
+class TestHarness:
+    def test_evaluate_scheme_on_graph_fields(self, small_er, er_oracle):
+        row = evaluate_scheme_on_graph("shortest-path", small_er, k=2, num_pairs=30,
+                                       seed=1, oracle=er_oracle)
+        assert row["scheme"] == "shortest-path"
+        assert row["failures"] == 0
+        assert row["max_stretch"] == pytest.approx(1.0)
+        assert row["max_table_bits"] > 0
+        assert row["build_seconds"] >= 0
+
+    def test_run_matrix_row_count_and_filter(self, small_er):
+        result = run_matrix("t", schemes=["shortest-path", "cowen"],
+                            graphs=[("er", small_er)], ks=[2], num_pairs=20, seed=1)
+        assert len(result.rows) == 2
+        assert {r["scheme"] for r in result.rows} == {"shortest-path", "cowen"}
+        assert len(result.filter(scheme="cowen")) == 1
+        assert result.column("n") == [small_er.n, small_er.n]
+
+    def test_experiment_result_add_row(self):
+        r = ExperimentResult("x")
+        r.add_row(a=1, b=2)
+        assert r.rows == [{"a": 1, "b": 2}]
+
+
+class TestReporting:
+    def test_format_table_contains_values(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 0.0001}], title="T")
+        assert "# T" in text and "2.5" in text and "0.0001" in text
+
+    def test_format_table_empty(self):
+        assert "no rows" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_format_series_bars(self):
+        text = format_series([1, 2], [1.0, 2.0], "x", "y", title="S")
+        assert "#" in text and "# S" in text
+
+    def test_results_to_csv(self):
+        csv = results_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b" and lines[1] == "1,x" and len(lines) == 3
+        assert results_to_csv([]) == ""
+
+
+class TestExperimentModules:
+    """Each experiment module must run end-to-end on tiny inputs."""
+
+    def test_exp_comparison_tiny(self):
+        result = exp_comparison.run(quick=True, seed=1, k=2,
+                                    schemes=["shortest-path", "cowen"], num_pairs=15)
+        assert result.rows
+        assert all(r["failures"] == 0 for r in result.rows)
+
+    def test_exp_scale_free_tiny(self):
+        result = exp_scale_free.run(quick=True, seed=1, k=2, deltas=[1e2, 1e12], num_pairs=12)
+        agm_rows = result.filter(scheme="agm")
+        ap_rows = result.filter(scheme="awerbuch-peleg")
+        assert len(agm_rows) == 2 and len(ap_rows) == 2
+        assert all(r["failures"] == 0 for r in result.rows)
+        # the scale-free scheme's tables must grow less than the hierarchical one's,
+        # whose storage tracks log Δ (see EXPERIMENTS.md E3 for the full sweep)
+        agm_growth = agm_rows[-1]["max_table_bits"] / agm_rows[0]["max_table_bits"]
+        ap_growth = ap_rows[-1]["max_table_bits"] / ap_rows[0]["max_table_bits"]
+        assert agm_growth < ap_growth
+        assert agm_growth <= 3.0
+
+    def test_exp_lemma_properties_tiny(self):
+        result = exp_lemma_properties.run(quick=True, seed=1, k=2)
+        assert result.rows
+        for row in result.rows:
+            assert row["lemma2_violations"] == 0
+            assert row["lemma3_violations"] == 0

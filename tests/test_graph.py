@@ -1,0 +1,130 @@
+"""Unit tests for WeightedGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import WeightedGraph
+from repro.utils.validation import ValidationError
+
+
+def triangle() -> WeightedGraph:
+    return WeightedGraph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)], names=["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 0, 1.0)])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 1, 0.0)])
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 1, -3.0)])
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 2, 1.0)])
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(0, [])
+
+    def test_parallel_edges_keep_minimum(self):
+        g = WeightedGraph(2, [(0, 1, 5.0), (1, 0, 2.0)])
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 1, 1.0)], names=["x", "x"])
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(2, [(0, 1, 1.0)], names=["x"])
+
+    def test_generated_names_unique_and_deterministic(self):
+        g1 = WeightedGraph(20, [(i, i + 1, 1.0) for i in range(19)], seed=5)
+        g2 = WeightedGraph(20, [(i, i + 1, 1.0) for i in range(19)], seed=5)
+        assert len(set(g1.names)) == 20
+        assert g1.names == g2.names
+
+
+class TestAccessors:
+    def test_names_and_lookup(self):
+        g = triangle()
+        assert g.name_of(1) == "b"
+        assert g.index_of("c") == 2
+        assert g.has_name("a") and not g.has_name("z")
+
+    def test_neighbors_and_degree(self):
+        g = triangle()
+        assert dict(g.neighbors(0)) == {1: 1.0, 2: 5.0}
+        assert g.degree(0) == 2
+        assert g.max_degree() == 2
+        assert g.neighbor_indices(0) == [1, 2]
+
+    def test_edges_iteration_each_once(self):
+        g = triangle()
+        edges = sorted(g.edges())
+        assert edges == [(0, 1, 1.0), (0, 2, 5.0), (1, 2, 2.0)]
+
+    def test_edge_weight_and_has_edge(self):
+        g = triangle()
+        assert g.has_edge(2, 0)
+        assert g.edge_weight(2, 1) == 2.0
+        with pytest.raises(ValidationError):
+            WeightedGraph(3, [(0, 1, 1.0)]).edge_weight(1, 2)
+
+    def test_weight_extremes(self):
+        g = triangle()
+        assert g.min_weight() == 1.0
+        assert g.max_weight() == 5.0
+        assert g.total_weight() == 8.0
+
+
+class TestStructure:
+    def test_csr_matrix_symmetric(self):
+        g = triangle()
+        mat = g.to_scipy_csr().toarray()
+        assert np.allclose(mat, mat.T)
+        assert mat[0, 1] == 1.0 and mat[1, 2] == 2.0
+
+    def test_subgraph_preserves_names_and_edges(self):
+        g = triangle()
+        sub, mapping = g.subgraph([0, 2])
+        assert mapping == [0, 2]
+        assert sub.n == 2
+        assert sub.num_edges == 1
+        assert sub.edge_weight(0, 1) == 5.0
+        assert sub.name_of(1) == "c"
+
+    def test_subgraph_requires_valid_nodes(self):
+        with pytest.raises(ValidationError):
+            triangle().subgraph([0, 7])
+
+    def test_connected_components(self):
+        g = WeightedGraph(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        comps = g.connected_components()
+        assert sorted(map(len, comps), reverse=True) == [2, 2, 1]
+        assert not g.is_connected()
+        assert triangle().is_connected()
+
+    def test_copy_with_weights(self):
+        g = triangle()
+        doubled = g.copy_with_weights(lambda u, v, w: 2 * w)
+        assert doubled.edge_weight(0, 1) == 2.0
+        assert doubled.names == g.names
+
+    def test_networkx_roundtrip(self):
+        g = triangle()
+        nxg = g.to_networkx()
+        back = WeightedGraph.from_networkx(nxg, names=g.names)
+        assert back.n == g.n
+        assert sorted(back.edges()) == sorted(g.edges())

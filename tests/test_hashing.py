@@ -1,0 +1,96 @@
+"""Tests for the hashing substrate (k-wise hash, digit hash, bucket hash)."""
+
+import collections
+
+import pytest
+
+from repro.hashing.universal import BucketHash, DigitHash, KWiseHash
+
+
+class TestKWiseHash:
+    def test_deterministic_per_instance(self):
+        h = KWiseHash(8, seed=1)
+        assert h("node-17") == h("node-17")
+        assert h(("a", 3)) == h(("a", 3))
+
+    def test_different_seeds_differ(self):
+        a, b = KWiseHash(8, seed=1), KWiseHash(8, seed=2)
+        values_a = [a(i) for i in range(50)]
+        values_b = [b(i) for i in range(50)]
+        assert values_a != values_b
+
+    def test_handles_arbitrary_hashable_names(self):
+        h = KWiseHash(4, seed=0)
+        for name in [0, "x", (1, "y"), 2**80, -5]:
+            assert isinstance(h(name), int)
+
+    def test_storage_bits_scales_with_independence(self):
+        assert KWiseHash(16, seed=0).storage_bits() == 2 * KWiseHash(8, seed=0).storage_bits()
+
+    def test_rejects_bad_independence(self):
+        with pytest.raises(Exception):
+            KWiseHash(0)
+
+    def test_spread_over_range(self):
+        h = KWiseHash(8, seed=3)
+        values = [h(i) % 97 for i in range(2000)]
+        counts = collections.Counter(values)
+        # roughly uniform: no residue grabs more than 4x its fair share
+        assert max(counts.values()) < 4 * (2000 / 97)
+
+
+class TestDigitHash:
+    def test_digits_shape_and_range(self):
+        dh = DigitHash(sigma=5, length=4, seed=2)
+        d = dh.digits("some-name")
+        assert len(d) == 4
+        assert all(0 <= x < 5 for x in d)
+
+    def test_prefix_consistency(self):
+        dh = DigitHash(sigma=7, length=5, seed=2)
+        assert dh.prefix("n", 3) == dh.digits("n")[:3]
+        assert dh.prefix("n", 0) == ()
+        with pytest.raises(Exception):
+            dh.prefix("n", 6)
+
+    def test_deterministic(self):
+        a = DigitHash(sigma=4, length=3, seed=9)
+        b = DigitHash(sigma=4, length=3, seed=9)
+        assert a.digits("abc") == b.digits("abc")
+
+    def test_sigma_one_degenerate(self):
+        dh = DigitHash(sigma=1, length=3, seed=0)
+        assert dh.digits("whatever") == (0, 0, 0)
+
+    def test_max_prefix_load_reasonable(self):
+        dh = DigitHash(sigma=8, length=3, seed=4)
+        names = [f"node-{i}" for i in range(256)]
+        # a length-1 prefix splits 256 names over 8 digits: fair share 32
+        assert dh.max_prefix_load(names, 1) < 4 * 32
+        assert dh.max_prefix_load([], 1) == 0
+
+    def test_storage_and_digit_bits(self):
+        dh = DigitHash(sigma=8, length=3, independence=8, seed=0)
+        assert dh.digit_bits() == 3
+        assert dh.storage_bits() == 3 * 8 * 61
+
+
+class TestBucketHash:
+    def test_bucket_in_range(self):
+        bh = BucketHash(17, seed=5)
+        assert all(0 <= bh(f"n{i}") < 17 for i in range(200))
+
+    def test_deterministic(self):
+        assert BucketHash(10, seed=1)("x") == BucketHash(10, seed=1)("x")
+
+    def test_single_bucket(self):
+        bh = BucketHash(1, seed=0)
+        assert bh("anything") == 0
+
+    def test_load_balanced(self):
+        bh = BucketHash(16, seed=7)
+        counts = collections.Counter(bh(f"node-{i}") for i in range(1600))
+        assert max(counts.values()) < 3 * 100
+
+    def test_storage_bits_positive(self):
+        assert BucketHash(64, seed=0).storage_bits() > 0

@@ -1,0 +1,144 @@
+"""Tests for the landmark hierarchy (Section 2.3, Claims 1-2, Lemma 3 prerequisites)."""
+
+import pytest
+
+from repro.core.decomposition import NeighborhoodDecomposition
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.params import AGMParams
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def hierarchy(request, small_geometric, geometric_oracle):
+    k = request.param
+    decomposition = NeighborhoodDecomposition(small_geometric, k, oracle=geometric_oracle)
+    return LandmarkHierarchy(small_geometric, k, oracle=geometric_oracle,
+                             decomposition=decomposition, seed=13)
+
+
+class TestLevels:
+    def test_level_zero_is_everything_and_top_is_empty(self, hierarchy):
+        assert hierarchy.level_set(0) == set(range(hierarchy.n))
+        assert hierarchy.level_set(hierarchy.k) == set()
+
+    def test_levels_nested(self, hierarchy):
+        for i in range(hierarchy.k):
+            assert hierarchy.level_set(i + 1) <= hierarchy.level_set(i)
+
+    def test_level_sizes_decreasing(self, hierarchy):
+        sizes = [hierarchy.level_size(i) for i in range(hierarchy.k + 1)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_rank_consistent_with_levels(self, hierarchy):
+        for v in range(hierarchy.n):
+            r = hierarchy.rank_of(v)
+            assert v in hierarchy.level_set(r)
+            if r + 1 < hierarchy.k:
+                assert v not in hierarchy.level_set(r + 1)
+
+    def test_sampling_deterministic_given_seed(self, small_geometric, geometric_oracle):
+        a = LandmarkHierarchy(small_geometric, 2, oracle=geometric_oracle, seed=5)
+        b = LandmarkHierarchy(small_geometric, 2, oracle=geometric_oracle, seed=5)
+        assert a.level_set(1) == b.level_set(1)
+
+    def test_invalid_level_rejected(self, hierarchy):
+        with pytest.raises(Exception):
+            hierarchy.level_set(hierarchy.k + 1)
+
+
+class TestNearbyLandmarks:
+    def test_count_matches_params(self, small_geometric, geometric_oracle):
+        params = AGMParams.experiment(landmark_count_factor=0.1)
+        h = LandmarkHierarchy(small_geometric, 3, oracle=geometric_oracle,
+                              params=params, seed=1)
+        expected = params.nearby_landmark_count(small_geometric.n, 3)
+        s = h.nearby_landmarks(0, 0)
+        assert len(s) == min(expected, small_geometric.n)
+
+    def test_nearby_landmarks_are_level_members_sorted_by_distance(self, hierarchy,
+                                                                   geometric_oracle):
+        for i in range(hierarchy.k):
+            s = hierarchy.nearby_landmarks(5, i)
+            level = hierarchy.level_set(i)
+            assert all(v in level for v in s)
+            dists = [geometric_oracle.dist(5, v) for v in s]
+            assert dists == sorted(dists)
+
+    def test_empty_top_level_gives_empty_set(self, hierarchy):
+        assert hierarchy.nearby_landmarks(0, hierarchy.k) == []
+
+    def test_union_and_serves(self, hierarchy):
+        union = hierarchy.nearby_union(2)
+        assert union
+        member = next(iter(union))
+        assert hierarchy.serves(member, 2)
+        assert 2 in union  # node 2 is its own closest rank-0 landmark
+
+    def test_nearby_cache_stable(self, hierarchy):
+        assert hierarchy.nearby_landmarks(7, 1) == hierarchy.nearby_landmarks(7, 1)
+
+
+class TestCenters:
+    def test_highest_rank_in_neighborhood(self, hierarchy):
+        for u in range(0, hierarchy.n, 6):
+            for i in range(hierarchy.k + 1):
+                m = hierarchy.highest_rank_in(u, i)
+                neighborhood = hierarchy.decomposition.neighborhood(u, i)
+                ranks = [hierarchy.rank_of(v) for v in neighborhood]
+                assert m == max(ranks)
+
+    def test_center_is_closest_of_top_rank_class(self, hierarchy, geometric_oracle):
+        for u in range(0, hierarchy.n, 6):
+            for i in range(hierarchy.k + 1):
+                c = hierarchy.center(u, i)
+                m = hierarchy.highest_rank_in(u, i)
+                level = hierarchy.level_set(m)
+                assert c in level
+                best = min(geometric_oracle.dist(u, v) for v in level)
+                assert geometric_oracle.dist(u, c) == pytest.approx(best)
+
+    def test_center_is_inside_neighborhood(self, hierarchy):
+        for u in range(0, hierarchy.n, 9):
+            for i in range(1, hierarchy.k + 1):
+                c = hierarchy.center(u, i)
+                assert c in set(hierarchy.decomposition.neighborhood(u, i))
+
+    def test_center_level_zero_is_self(self, hierarchy):
+        # A(u,0) = {u}, so the highest rank present is u's own rank and the
+        # closest member of that class is u itself.
+        for u in range(0, hierarchy.n, 10):
+            if hierarchy.rank_of(u) == hierarchy.highest_rank_in(u, 0):
+                assert hierarchy.center(u, 0) == u
+
+    def test_center_always_in_nearby_union_of_source(self, hierarchy):
+        """c(u, i) in S(u) — the property the sparse strategy relies on."""
+        for u in range(hierarchy.n):
+            for i in range(hierarchy.k + 1):
+                assert hierarchy.center(u, i) in hierarchy.nearby_union(u)
+
+
+class TestClaims:
+    def test_claims_hold_with_paper_constants(self, small_geometric, geometric_oracle):
+        h = LandmarkHierarchy(small_geometric, 2, oracle=geometric_oracle,
+                              params=AGMParams.paper(), seed=3)
+        verdict = h.verify_claims(sample_nodes=range(0, small_geometric.n, 4))
+        assert verdict["claim1"] is True
+        assert verdict["claim2"] is True
+
+    def test_lemma3_sparse_neighborhoods(self, small_geometric, geometric_oracle):
+        """Lemma 3: i sparse for u and v in E(u,i)  =>  c(u,i) in S(v) (paper constants)."""
+        k = 2
+        params = AGMParams.paper()
+        decomposition = NeighborhoodDecomposition(small_geometric, k,
+                                                  oracle=geometric_oracle, params=params)
+        h = LandmarkHierarchy(small_geometric, k, oracle=geometric_oracle,
+                              decomposition=decomposition, params=params, seed=17)
+        violations = 0
+        for u in range(small_geometric.n):
+            for i in range(k + 1):
+                if decomposition.is_dense(u, i):
+                    continue
+                c = h.center(u, i)
+                for v in decomposition.e_ball(u, i):
+                    if c not in h.nearby_union(v):
+                        violations += 1
+        assert violations == 0

@@ -1,0 +1,101 @@
+"""Tests for AGMParams and the theoretical-bound evaluators."""
+
+import math
+
+import pytest
+
+from repro.core import analysis
+from repro.core.params import AGMParams
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        p = AGMParams.paper()
+        assert p.landmark_count_factor == 16.0
+        assert p.dense_gap == 3
+        assert p.sparse_shrink == 6.0
+
+    def test_experiment_preset_scales_constant_only(self):
+        p = AGMParams.experiment(landmark_count_factor=2.0)
+        assert p.landmark_count_factor == 2.0
+        assert p.dense_gap == AGMParams.paper().dense_gap
+
+    def test_with_overrides(self):
+        p = AGMParams.paper().with_overrides(name_bits=128)
+        assert p.name_bits == 128
+        assert p.dense_gap == 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(Exception):
+            AGMParams(landmark_count_factor=0)
+        with pytest.raises(Exception):
+            AGMParams(dense_gap=0)
+        with pytest.raises(Exception):
+            AGMParams(sparse_shrink=0.5)
+        with pytest.raises(Exception):
+            AGMParams(name_bits=0)
+
+    def test_nearby_landmark_count_formula(self):
+        p = AGMParams.paper()
+        n, k = 256, 2
+        expected = math.ceil(16.0 * (n ** 1.0) * math.log2(n))
+        assert p.nearby_landmark_count(n, k) == expected
+        assert p.nearby_landmark_count(2, 1) >= 1
+
+    def test_sampling_probability_in_unit_interval(self):
+        p = AGMParams.paper()
+        for n in (4, 64, 4096):
+            for k in (1, 2, 5):
+                prob = p.sampling_probability(n, k)
+                assert 0 < prob <= 1.0
+
+    def test_sampling_probability_decreases_with_n(self):
+        p = AGMParams.paper()
+        assert p.sampling_probability(10_000, 2) < p.sampling_probability(100, 2)
+
+    def test_params_frozen(self):
+        with pytest.raises(Exception):
+            AGMParams.paper().dense_gap = 5  # type: ignore[misc]
+
+
+class TestBounds:
+    def test_theorem1_vs_lemma11(self):
+        assert analysis.lemma11_table_bits(1000, 3) > analysis.theorem1_table_bits(1000, 3)
+
+    def test_table_bound_decreases_in_k_for_large_n(self):
+        n = 10**6
+        assert analysis.theorem1_table_bits(n, 4) < analysis.theorem1_table_bits(n, 1)
+
+    def test_stretch_bounds(self):
+        assert analysis.stretch_bound(5) == 5
+        assert analysis.exponential_stretch_bound(5) == 32
+        assert analysis.exponential_stretch_bound(5) > analysis.stretch_bound(5)
+
+    def test_lemma_bounds_monotone_in_size(self):
+        assert analysis.lemma4_table_bits(1000, 2) > analysis.lemma4_table_bits(100, 2)
+        assert analysis.lemma5_table_bits(1000, 2) > analysis.lemma5_table_bits(100, 2)
+        assert analysis.lemma5_label_bits(1000, 3) > analysis.lemma5_label_bits(100, 3)
+
+    def test_lemma6_and_lemma7_bounds(self):
+        assert analysis.lemma6_membership(256, 2) == pytest.approx(2 * 2 * 16)
+        assert analysis.lemma6_radius(4.0, 2) == pytest.approx((2 * 2 + 3) * 4.0)
+        assert analysis.lemma7_route_bound(10.0, 2.0, 3) == pytest.approx(4 * 10 + 2 * 3 * 2.0)
+
+
+class TestFits:
+    def test_fit_power_law_recovers_exponent(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [3 * x ** 0.5 for x in xs]
+        fit = analysis.fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.01)
+        assert fit.constant == pytest.approx(3.0, rel=0.05)
+        assert fit.r_squared > 0.999
+
+    def test_fit_power_law_degenerate_input(self):
+        fit = analysis.fit_power_law([5], [2.0])
+        assert fit.exponent == 0.0 and fit.constant == 2.0
+
+    def test_growth_ratio(self):
+        assert analysis.growth_ratio([1, 2, 4]) == [2.0, 2.0]
+        assert analysis.growth_ratio([0, 3]) == [float("inf")]
+        assert analysis.growth_ratio([5]) == []
