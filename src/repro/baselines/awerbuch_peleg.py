@@ -22,7 +22,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.covers.tree_cover import TreeCover, build_tree_cover
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.error_reporting import DictionaryTreeRouting
@@ -43,7 +43,7 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         self._build(seed)
 
@@ -60,7 +60,7 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
         else:
             self.num_scales = max(1, int(math.ceil(math.log2(diameter / d_min))) + 1)
 
-        names = {v: graph.name_of(v) for v in range(graph.n)}
+        names = graph.names_view()
         #: scale -> list of Lemma 7 structures, one per cover tree
         self.scales: List[List[DictionaryTreeRouting]] = []
         #: scale -> {node -> index of its home tree}

@@ -28,7 +28,8 @@ from typing import Dict, Hashable, List, Optional
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, dijkstra, shortest_path_tree
+from repro.graphs.shortest_paths import (DistanceOracle, dijkstra,
+                                          exact_distance_oracle, shortest_path_tree)
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.compact_labeled import CompactTreeRouting
@@ -47,7 +48,7 @@ class CowenRouting(RoutingSchemeInstance):
                  seed=None, name_bits: int = 64,
                  sample_probability: Optional[float] = None) -> None:
         super().__init__(graph)
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         rng = make_rng(seed)
         n = graph.n
@@ -69,13 +70,11 @@ class CowenRouting(RoutingSchemeInstance):
     def _build(self) -> None:
         graph, oracle = self.graph, self.oracle
         n = graph.n
-        # distance to the landmark set and the home landmark of each node
-        self.home: Dict[int, int] = {}
-        self.dist_to_landmarks = np.full(n, np.inf)
-        for v in range(n):
-            best = min(self.landmarks, key=lambda a: (oracle.dist(v, a), a))
-            self.home[v] = best
-            self.dist_to_landmarks[v] = oracle.dist(v, best)
+        # distance to the landmark set and the home landmark of each node,
+        # vectorized over one landmark row block (tie-break handled by the
+        # oracle helper)
+        ids, self.dist_to_landmarks = oracle.nearest_member(self.landmarks)
+        self.home: Dict[int, int] = {v: int(ids[v]) for v in range(n)}
 
         # clusters: x stores a next hop for every v with d(x, v) < d(v, A)
         self._cluster_next_hop: List[Dict[Hashable, int]] = [dict() for _ in range(n)]

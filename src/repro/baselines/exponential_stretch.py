@@ -27,7 +27,8 @@ import math
 from typing import Dict, Hashable, List, Optional
 
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
+                                          shortest_path_tree)
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.error_reporting import DictionaryTreeRouting
@@ -49,7 +50,7 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         self.responsibility_factor = float(responsibility_factor)
         self._build(seed)
@@ -61,7 +62,7 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
         graph, oracle = self.graph, self.oracle
         rng = make_rng(seed)
         n = graph.n
-        names = {v: graph.name_of(v) for v in range(n)}
+        names = graph.names_view()
 
         # landmark levels L_1 .. L_k (L_0 = V is implicit and unused for trees)
         self.levels: List[List[int]] = []
@@ -81,13 +82,12 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
             top.append(min(in_top) if in_top else min(component))
         self.levels[-1] = sorted(set(top))
 
-        # nearest landmark of each level for every node
+        # nearest landmark of each level for every node, vectorized (the
+        # oracle helper handles the (distance, node-index) tie-break)
         self.nearest: List[List[int]] = []
         for i in range(self.k):
-            members = self.levels[i]
-            self.nearest.append([
-                min(members, key=lambda a: (oracle.dist(v, a), a)) for v in range(n)
-            ])
+            ids, _ = oracle.nearest_member(self.levels[i])
+            self.nearest.append(ids.tolist())
 
         # responsibility trees with Lemma 7 dictionaries
         self._trees: Dict[int, DictionaryTreeRouting] = {}   # (landmark, level) keyed below

@@ -13,7 +13,7 @@ from typing import Dict, Hashable, Optional
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, dijkstra
+from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.utils.bitsize import bits_for_id
@@ -28,7 +28,7 @@ class ShortestPathRouting(RoutingSchemeInstance):
     def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
                  name_bits: int = 64) -> None:
         super().__init__(graph)
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         #: next_hop[u][name of v] = neighbor of u on a shortest u→v path
         self._next_hop: list[Dict[Hashable, int]] = [dict() for _ in range(graph.n)]

@@ -32,7 +32,8 @@ from typing import Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
+                                          shortest_path_tree)
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.compact_labeled import CompactTreeRouting
@@ -53,7 +54,7 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         rng = make_rng(seed)
         n = graph.n
@@ -79,15 +80,20 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         n = graph.n
         k = self.k
 
-        # distance to each level and pivots
+        # distance to each level and pivots, vectorized: one row block per
+        # level instead of an oracle.dist call per (node, member) pair
         self.pivot: List[List[int]] = [[0] * n for _ in range(k)]
         dist_to_level = np.full((k + 1, n), np.inf)
-        for i in range(k):
-            members = self.levels[i]
-            for v in range(n):
-                best = min(members, key=lambda a: (oracle.dist(v, a), a))
-                self.pivot[i][v] = best
-                dist_to_level[i, v] = oracle.dist(v, best)
+        # level 0 is all of V: every node is its own pivot at distance 0
+        # (edge weights are strictly positive), so no rows are needed — this
+        # matters on the lazy backend, where fetching rows for all n level-0
+        # members would materialize the very O(n²) block the backend avoids
+        self.pivot[0] = list(range(n))
+        dist_to_level[0] = 0.0
+        for i in range(1, k):
+            ids, dists = oracle.nearest_member(self.levels[i])
+            self.pivot[i] = ids.tolist()
+            dist_to_level[i] = dists
         # dist_to_level[k] stays +inf: the top clusters span everything
 
         # cluster trees per landmark (only for landmarks that are someone's pivot,
@@ -95,18 +101,27 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         used: List[Tuple[int, int]] = sorted({(i, self.pivot[i][v])
                                               for i in range(k) for v in range(n)})
         self._trees: Dict[Tuple[int, int], CompactTreeRouting] = {}
-        for i, w in used:
-            members = [v for v in range(n)
-                       if oracle.dist(w, v) < dist_to_level[i + 1, v] - 1e-12]
-            members.append(w)
-            tree = shortest_path_tree(graph, w, members=sorted(set(members)))
-            routing = CompactTreeRouting(tree, k=max(self.k, 2))
-            self._trees[(i, w)] = routing
-            for v in tree.nodes:
-                self.tables[v].charge("cluster_tree_tables", routing.table_bits(v))
+        block = oracle.block_rows()
+        for start in range(0, len(used), block):
+            chunk = used[start:start + block]
+            # one batched row fetch per chunk; rows() fills from the computed
+            # blocks directly, so this stays efficient past the LRU capacity
+            chunk_rows = oracle.rows([w for _, w in chunk])
+            for (i, w), row_w in zip(chunk, chunk_rows):
+                members = [int(v) for v in
+                           np.where(row_w < dist_to_level[i + 1] - 1e-12)[0]]
+                members.append(w)
+                self._build_cluster_tree(i, w, members)
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("pivot_pointers", landmark_bits, count=k)
+
+    def _build_cluster_tree(self, i: int, w: int, members: List[int]) -> None:
+        tree = shortest_path_tree(self.graph, w, members=sorted(set(members)))
+        routing = CompactTreeRouting(tree, k=max(self.k, 2))
+        self._trees[(i, w)] = routing
+        for v in tree.nodes:
+            self.tables[v].charge("cluster_tree_tables", routing.table_bits(v))
 
     # ------------------------------------------------------------------ #
     # labels

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.params import AGMParams
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.utils.validation import check_index, require
 
 
@@ -48,7 +48,7 @@ class NeighborhoodDecomposition:
         self.graph = graph
         self.k = int(k)
         self.params = params or AGMParams.paper()
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.n = graph.n
         self.growth = max(self.n, 2) ** (1.0 / self.k)
 
@@ -61,14 +61,17 @@ class NeighborhoodDecomposition:
         self.top_exp = self.max_exp + 4
 
         # Pre-compute |B(u, d_min * 2^j)| for every node and every exponent
-        # 0..max_exp in one vectorized pass; the range recursion then runs on
-        # this table instead of issuing O(n) ball queries per probe.
+        # 0..max_exp in vectorized blocks; the range recursion then runs on
+        # this table instead of issuing O(n) ball queries per probe.  Rows are
+        # streamed through the oracle so the table costs O(block · n) transient
+        # memory under the lazy backend instead of a materialized O(n²) matrix.
         radii = self.d_min * np.power(2.0, np.arange(self.max_exp + 1)) + 1e-12
-        sorted_rows = np.sort(np.where(np.isfinite(self.oracle.matrix),
-                                       self.oracle.matrix, np.inf), axis=1)
-        self._ball_size_table = np.vstack([
-            np.searchsorted(sorted_rows[u], radii, side="right") for u in range(self.n)
-        ]).astype(np.int64)
+        self._ball_size_table = np.empty((self.n, self.max_exp + 1), dtype=np.int64)
+        for chunk, rows in self.oracle.iter_row_blocks():
+            block = np.sort(np.where(np.isfinite(rows), rows, np.inf), axis=1)
+            for local, u in enumerate(chunk):
+                self._ball_size_table[u] = np.searchsorted(block[local], radii,
+                                                           side="right")
 
         # ranges a(u, 0..k+1)
         self._ranges: List[List[int]] = [self._compute_ranges(u) for u in range(self.n)]
@@ -134,6 +137,12 @@ class NeighborhoodDecomposition:
             return [u]
         return self.oracle.ball(u, self.neighborhood_radius(u, i))
 
+    def neighborhood_indices(self, u: int, i: int) -> np.ndarray:
+        """``A(u, i)`` as an index array (zero-copy hot-path variant)."""
+        if i == 0:
+            return np.asarray([u], dtype=np.int64)
+        return self.oracle.ball_indices(u, self.neighborhood_radius(u, i))
+
     def neighborhood_size(self, u: int, i: int) -> int:
         """``|A(u, i)|``."""
         if i == 0:
@@ -180,6 +189,10 @@ class NeighborhoodDecomposition:
     def e_ball(self, u: int, i: int) -> List[int]:
         """``E(u, i)``."""
         return self.oracle.ball(u, self.e_radius(u, i))
+
+    def e_ball_indices(self, u: int, i: int) -> np.ndarray:
+        """``E(u, i)`` as an index array (zero-copy hot-path variant)."""
+        return self.oracle.ball_indices(u, self.e_radius(u, i))
 
     def guarantee_ball(self, u: int, i: int) -> List[int]:
         """The ball the level-``i`` strategy is guaranteed to cover (F if dense, E if sparse)."""

@@ -26,7 +26,7 @@ from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.params import AGMParams
 from repro.covers.tree_cover import TreeCover, build_tree_cover
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.graphs.trees import Tree
 from repro.routing.table import TableCollection
 from repro.trees.error_reporting import DictionaryTreeRouting
@@ -92,13 +92,15 @@ class DenseStrategy:
         members = self.decomposition.extended_range_members()
 
         # 3. one tree cover per needed exponent, built on the induced subgraph G_j
-        names = {v: graph.name_of(v) for v in range(graph.n)}
+        names = graph.names_view()
         for count, j in enumerate(sorted(needed)):
             population = members.get(j, [])
             if not population:
                 continue
             subgraph, mapping = graph.subgraph(population)
-            sub_oracle = DistanceOracle(subgraph)
+            # automatic backend selection keeps large G_j subgraphs off the
+            # dense matrix just like the top-level graph
+            sub_oracle = exact_distance_oracle(subgraph)
             rho = self.decomposition.radius_of_exponent(j)
             cover: TreeCover = build_tree_cover(subgraph, k, rho, oracle=sub_oracle)
             routings: List[DictionaryTreeRouting] = []

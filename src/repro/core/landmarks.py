@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.params import AGMParams
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_index, require
 
@@ -50,7 +50,7 @@ class LandmarkHierarchy:
         self.graph = graph
         self.k = int(k)
         self.params = params or AGMParams.paper()
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
         self.decomposition = decomposition or NeighborhoodDecomposition(
             graph, k, oracle=self.oracle, params=self.params)
         self.n = graph.n
@@ -77,6 +77,11 @@ class LandmarkHierarchy:
         for level_index in range(1, self.k):
             for v in levels[level_index]:
                 self.rank[v] = level_index
+        # vectorized views used by the hot highest-rank / center queries
+        self._rank_array = np.asarray(self.rank, dtype=np.int64)
+        self._level_arrays: List[np.ndarray] = [
+            np.asarray(sorted(level), dtype=np.int64) for level in levels
+        ]
 
     def level_set(self, i: int) -> Set[int]:
         """``C_i`` (a copy)."""
@@ -130,16 +135,23 @@ class LandmarkHierarchy:
     # ------------------------------------------------------------------ #
     def highest_rank_in(self, u: int, i: int) -> int:
         """``m(u, i)``: the highest rank of any node of ``A(u, i)``."""
-        neighborhood = self.decomposition.neighborhood(u, i)
-        return max(self.rank[v] for v in neighborhood)
+        neighborhood = self.decomposition.neighborhood_indices(u, i)
+        return int(self._rank_array[neighborhood].max())
 
     def center(self, u: int, i: int) -> int:
-        """``c(u, i)``: the closest node to ``u`` among ``C_{m(u,i)}``."""
+        """``c(u, i)``: the closest node to ``u`` among ``C_{m(u,i)}``.
+
+        Vectorized over the sorted level array: ``argmin`` keeps the first
+        occurrence, which is the (distance, node-index) lexicographic winner.
+        """
         m = self.highest_rank_in(u, i)
-        members = self.levels[m]
-        closest = self.oracle.nearest(u, 1, members)
-        require(len(closest) == 1, f"no reachable member of C_{m} from node {u}")
-        return closest[0]
+        members = self._level_arrays[m]
+        require(members.size > 0, f"no reachable member of C_{m} from node {u}")
+        dists = self.oracle.row(u)[members]
+        best = int(np.argmin(dists))
+        require(bool(np.isfinite(dists[best])),
+                f"no reachable member of C_{m} from node {u}")
+        return int(members[best])
 
     # ------------------------------------------------------------------ #
     # empirical verification of Claims 1 and 2

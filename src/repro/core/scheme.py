@@ -29,7 +29,8 @@ from repro.core.landmarks import LandmarkHierarchy
 from repro.core.params import AGMParams
 from repro.core.sparse_strategy import SparseStrategy
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
+                                          shortest_path_tree)
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.error_reporting import DictionaryTreeRouting
@@ -56,7 +57,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
         self.params = params or AGMParams.paper()
-        self.oracle = oracle or DistanceOracle(graph)
+        self.oracle = exact_distance_oracle(graph, oracle)
 
         self.decomposition = NeighborhoodDecomposition(
             graph, self.k, oracle=self.oracle, params=self.params)
@@ -87,7 +88,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
     # construction helpers
     # ------------------------------------------------------------------ #
     def _build_fallback(self, seed) -> None:
-        names = {v: self.graph.name_of(v) for v in range(self.graph.n)}
+        names = self.graph.names_view()
         self._fallback: Dict[int, DictionaryTreeRouting] = {}
         self._fallback_of_node: Dict[int, int] = {}
         for index, component in enumerate(self.graph.connected_components()):
@@ -122,7 +123,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         require(0 <= source < self.graph.n, f"source {source} out of range")
         result = RouteResult(found=False, path=[source], cost=0.0,
                              max_header_bits=self.header_bits())
-        if self.graph.name_of(source) == destination_name:
+        if self.graph.name_at(source) == destination_name:
             result.found = True
             result.strategy = "local"
             return result

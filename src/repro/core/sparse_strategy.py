@@ -23,6 +23,8 @@ import math
 from collections import defaultdict
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.params import AGMParams
@@ -76,22 +78,24 @@ class SparseStrategy:
         graph, k = self.graph, self.k
         # 1. centers actually used by some (node, sparse level) pair
         used_centers: Set[int] = set()
-        for u in range(graph.n):
-            for i in range(k + 1):
-                if self.decomposition.is_sparse(u, i):
-                    c = self.landmarks.center(u, i)
-                    self.center_of[(u, i)] = c
-                    used_centers.add(c)
+        for chunk in self.oracle.iter_prefetched_chunks(range(graph.n)):
+            for u in chunk:
+                for i in range(k + 1):
+                    if self.decomposition.is_sparse(u, i):
+                        c = self.landmarks.center(u, i)
+                        self.center_of[(u, i)] = c
+                        used_centers.add(c)
 
         # 2. which nodes each center serves: v is served by c iff c in S(v)
         served_by: Dict[int, Set[int]] = defaultdict(set)
-        for v in range(graph.n):
-            for c in self.landmarks.nearby_union(v):
-                if c in used_centers:
-                    served_by[c].add(v)
+        for chunk in self.oracle.iter_prefetched_chunks(range(graph.n)):
+            for v in chunk:
+                for c in self.landmarks.nearby_union(v):
+                    if c in used_centers:
+                        served_by[c].add(v)
 
         # 3. build T(c) and its Lemma 4 routing structure for every used center
-        names = {v: graph.name_of(v) for v in range(graph.n)}
+        names = graph.names_view()
         for index, c in enumerate(sorted(used_centers)):
             members = served_by[c] | {c}
             tree = shortest_path_tree(graph, c, members=sorted(members))
@@ -102,12 +106,24 @@ class SparseStrategy:
                 seed=derive_rng(seed, 101, index),
             )
 
-        # 4. search bounds b(u, i): the minimal j-bounded search that covers E(u, i)
-        for (u, i), c in self.center_of.items():
+        # 4. search bounds b(u, i): the minimal j-bounded search that covers
+        # E(u, i).  Grouped per center: one transient digit vector (0 outside
+        # the tree) turns required_bound into a gather + max over the ball
+        # index array, without holding a vector per tree alive at once.
+        by_center: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for key, c in self.center_of.items():
+            by_center[c].append(key)
+        vector = np.zeros(graph.n, dtype=np.int64)
+        for c, keys in by_center.items():
             routing = self.trees[c]
-            e_ball = self.decomposition.e_ball(u, i)
-            in_tree = [v for v in e_ball if routing.tree.contains(v)]
-            self.bound_of[(u, i)] = routing.required_bound(in_tree)
+            vector[:] = 0
+            for v in routing.tree.nodes:
+                vector[v] = max(routing.digits_of(v), 1)
+            for chunk in self.oracle.iter_prefetched_chunks(keys, source=lambda key: key[0]):
+                for u, i in chunk:
+                    ball = self.decomposition.e_ball_indices(u, i)
+                    bound = int(vector[ball].max(initial=0)) if ball.size else 0
+                    self.bound_of[(u, i)] = max(bound, 1)
 
         # 5. storage accounting
         idbits = bits_for_id(max(graph.n, 2))

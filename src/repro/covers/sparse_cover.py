@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle
+from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.utils.validation import require
 
 
@@ -94,7 +94,7 @@ def build_sparse_cover(
     """
     require(k >= 1, f"k must be >= 1, got {k}")
     require(rho > 0, f"rho must be positive, got {rho}")
-    oracle = oracle or DistanceOracle(graph)
+    oracle = exact_distance_oracle(graph, oracle)
     if nodes is None:
         universe = list(range(graph.n))
     else:
@@ -103,10 +103,13 @@ def build_sparse_cover(
     n_eff = max(len(universe), 2)
     growth = n_eff ** (1.0 / k)
 
-    # Pre-compute every ball restricted to the allowed node set.
+    # Pre-compute every ball restricted to the allowed node set.  Sources are
+    # prefetched in blocks so the lazy backend fills its row cache with one
+    # vectorized multi-source call per block instead of a Dijkstra per ball.
     balls: Dict[int, Set[int]] = {}
-    for v in universe:
-        balls[v] = {u for u in oracle.ball(v, rho) if u in allowed}
+    for chunk in oracle.iter_prefetched_chunks(universe):
+        for v in chunk:
+            balls[v] = {u for u in oracle.ball(v, rho) if u in allowed}
 
     remaining: Set[int] = set(universe)          # centers whose ball still needs covering
     clusters: List[Cluster] = []

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.covers.sparse_cover import SparseCover, build_sparse_cover
 from repro.graphs.graph import WeightedGraph
-from repro.graphs.shortest_paths import DistanceOracle, dijkstra
+from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.graphs.trees import Tree
 from repro.utils.validation import require
 
@@ -123,7 +123,7 @@ def build_tree_cover(
 ) -> TreeCover:
     """Build ``TC_{k,rho}`` of ``graph`` (or of the induced subgraph on ``nodes``)."""
     require(k >= 1, f"k must be >= 1, got {k}")
-    oracle = oracle or DistanceOracle(graph)
+    oracle = exact_distance_oracle(graph, oracle)
     cover: SparseCover = build_sparse_cover(graph, k, rho, oracle=oracle, nodes=nodes)
     trees: List[Tree] = []
     for cluster in cover.clusters:

@@ -1,12 +1,21 @@
-"""Experiment runner: schemes x graphs x k, with stretch and space measurements."""
+"""Experiment runner: schemes x graphs x k, with stretch and space measurements.
+
+``run_matrix`` can fan the (scheme, graph, k) cells out over a thread pool
+(``parallel=``): every cell of one graph shares that graph's distance oracle
+(and therefore its backend's row cache), scheme construction and evaluation
+are per-cell and independent, and the result rows come back in the same
+deterministic order as the serial loop.
+"""
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.factory import build_scheme
+from repro.graphs.backends import BackendLike
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.metrics import graph_summary
 from repro.graphs.shortest_paths import DistanceOracle
@@ -46,9 +55,10 @@ def evaluate_scheme_on_graph(
     seed: int = 0,
     oracle: Optional[DistanceOracle] = None,
     scheme_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
 ) -> Dict[str, object]:
     """Build one scheme on one graph and measure stretch, space and build time."""
-    oracle = oracle or DistanceOracle(graph)
+    oracle = oracle or DistanceOracle(graph, backend=backend)
     simulator = RoutingSimulator(graph, oracle=oracle)
     start = time.perf_counter()
     scheme = build_scheme(scheme_name, graph, k=k, seed=seed, oracle=oracle,
@@ -84,6 +94,8 @@ def run_matrix(
     num_pairs: int = 150,
     seed: int = 0,
     scheme_kwargs: Optional[Dict[str, dict]] = None,
+    parallel: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> ExperimentResult:
     """Run every (scheme, graph, k) combination.
 
@@ -93,18 +105,49 @@ def run_matrix(
         Sequence of ``(graph_label, WeightedGraph)`` pairs.
     scheme_kwargs:
         Optional per-scheme extra constructor arguments.
+    parallel:
+        If given and > 1, fan the cells out over this many worker threads.
+        Cells of the same graph share one distance oracle/backend; rows are
+        returned in the same order as the serial loop and each cell keeps its
+        own seed, so results are identical either way.
+    backend:
+        Distance-backend spec forwarded to each graph's shared oracle
+        (``"dense"``, ``"lazy"``, ``None`` for automatic selection).
     """
     result = ExperimentResult(name=name)
-    for graph_label, graph in graphs:
-        oracle = DistanceOracle(graph)
-        summary = graph_summary(graph, oracle)
-        for k in ks:
-            for scheme_name in schemes:
-                kwargs = (scheme_kwargs or {}).get(scheme_name, {})
-                row = evaluate_scheme_on_graph(
-                    scheme_name, graph, k, num_pairs=num_pairs, seed=seed,
-                    oracle=oracle, scheme_kwargs=kwargs)
-                row["graph"] = graph_label
-                row["aspect_ratio"] = summary.aspect_ratio
-                result.add_row(**row)
+    graphs = list(graphs)  # may be a one-shot iterable; iterated per mode below
+
+    def run_cell(graph_label, graph, k, scheme_name, oracle, summary):
+        kwargs = (scheme_kwargs or {}).get(scheme_name, {})
+        row = evaluate_scheme_on_graph(
+            scheme_name, graph, k, num_pairs=num_pairs, seed=seed,
+            oracle=oracle, scheme_kwargs=kwargs)
+        row["graph"] = graph_label
+        row["aspect_ratio"] = summary.aspect_ratio
+        return row
+
+    if parallel and parallel > 1 and len(graphs) * len(ks) * len(schemes) > 1:
+        # interleaved cells need every graph's shared oracle alive at once
+        oracles = [DistanceOracle(graph, backend=backend) for _, graph in graphs]
+        summaries = [graph_summary(graph, oracle)
+                     for (_, graph), oracle in zip(graphs, oracles)]
+        cells = [(label, graph, k, scheme_name, oracles[index], summaries[index])
+                 for index, (label, graph) in enumerate(graphs)
+                 for k in ks
+                 for scheme_name in schemes]
+        with ThreadPoolExecutor(max_workers=int(parallel)) as pool:
+            rows = list(pool.map(lambda cell: run_cell(*cell), cells))
+    else:
+        # serial: scope one oracle per graph so its distance store is
+        # released before the next graph starts
+        rows = []
+        for graph_label, graph in graphs:
+            oracle = DistanceOracle(graph, backend=backend)
+            summary = graph_summary(graph, oracle)
+            for k in ks:
+                for scheme_name in schemes:
+                    rows.append(run_cell(graph_label, graph, k, scheme_name,
+                                         oracle, summary))
+    for row in rows:
+        result.add_row(**row)
     return result

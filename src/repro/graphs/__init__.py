@@ -8,6 +8,14 @@ Everything in the routing library is expressed over :class:`WeightedGraph`
 
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.trees import Tree
+from repro.graphs.backends import (
+    BACKEND_NAMES,
+    DenseAPSPBackend,
+    DistanceBackend,
+    LandmarkApproxBackend,
+    LazyDijkstraBackend,
+    resolve_backend,
+)
 from repro.graphs.shortest_paths import (
     dijkstra,
     all_pairs_distances,
@@ -22,4 +30,10 @@ __all__ = [
     "all_pairs_distances",
     "shortest_path_tree",
     "DistanceOracle",
+    "DistanceBackend",
+    "DenseAPSPBackend",
+    "LazyDijkstraBackend",
+    "LandmarkApproxBackend",
+    "resolve_backend",
+    "BACKEND_NAMES",
 ]

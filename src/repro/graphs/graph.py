@@ -48,8 +48,10 @@ class WeightedGraph:
         "n",
         "_adj",
         "_names",
+        "_names_view",
         "_name_to_index",
         "_csr",
+        "_component_ids",
         "_num_edges",
         "_min_weight",
         "_max_weight",
@@ -85,7 +87,9 @@ class WeightedGraph:
                 if len(set(candidate)) == self.n:
                     self._names = candidate
                     break
+        self._names_view = tuple(self._names)
         self._name_to_index = {name: i for i, name in enumerate(self._names)}
+        self._component_ids: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -144,8 +148,20 @@ class WeightedGraph:
 
     @property
     def names(self) -> List[object]:
-        """The list of node names, indexed by node index."""
+        """The list of node names, indexed by node index (defensive copy)."""
         return list(self._names)
+
+    def names_view(self) -> Tuple[object, ...]:
+        """Zero-copy immutable view of the names, for hot paths.
+
+        The ``names`` property copies the full list on every access; routing
+        and evaluation loops that touch a name per hop use this view instead.
+        """
+        return self._names_view
+
+    def name_at(self, v: int) -> object:
+        """Name of node ``v`` without the bounds re-check (trusted hot path)."""
+        return self._names[v]
 
     def name_of(self, v: int) -> object:
         """Name of node ``v``."""
@@ -266,6 +282,21 @@ class WeightedGraph:
             components.append(sorted(comp))
         components.sort(key=len, reverse=True)
         return components
+
+    def component_ids(self) -> np.ndarray:
+        """Connected-component id of every node (cached).
+
+        Ids are assigned so that two nodes are connected iff their ids are
+        equal; the vectorized pair sampler tests connectivity with one array
+        comparison instead of a distance query per candidate pair.
+        """
+        if self._component_ids is None:
+            ids = np.full(self.n, -1, dtype=np.int64)
+            for index, component in enumerate(self.connected_components()):
+                for v in component:
+                    ids[v] = index
+            self._component_ids = ids
+        return self._component_ids
 
     def is_connected(self) -> bool:
         """Whether the graph is connected."""

@@ -12,18 +12,28 @@ Two engines are provided:
   APSP matrix is the dominant preprocessing cost, and the SciPy kernel is
   ~40x faster than the Python loop for the graph sizes used in the benches).
 
-:class:`DistanceOracle` wraps the APSP matrix with the ball / nearest-set
-queries (``B(u, r)`` and ``N(u, m, Z)``) that the paper's definitions use.
+:class:`DistanceOracle` answers the ball / nearest-set queries (``B(u, r)``
+and ``N(u, m, Z)``) that the paper's definitions use.  Since the
+distance-backend refactor it is a thin façade over a pluggable
+:class:`repro.graphs.backends.DistanceBackend` — eager dense matrix, lazy
+LRU-cached per-source rows, or landmark upper bounds — chosen automatically
+from the graph size unless the caller picks one.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
+from repro.graphs.backends import (
+    BackendLike,
+    DenseAPSPBackend,
+    DistanceBackend,
+    resolve_backend,
+)
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.trees import Tree
 from repro.utils.validation import check_index, require
@@ -133,7 +143,16 @@ def shortest_path_tree(
         If given, the shortest paths are computed inside the induced subgraph
         on this node set (used for cluster trees of the sparse cover).
     """
-    dist, parent = dijkstra(graph, root, allowed=within)
+    if within is None and graph.num_edges > 0:
+        # unrestricted case: the SciPy kernel returns distances and
+        # predecessors in one call, ~40x faster than the Python heap for the
+        # tree fan-outs of the sparse strategy and the baselines
+        check_index(root, graph.n, "root")
+        dist, parent = _scipy_dijkstra(graph.to_scipy_csr(), directed=False,
+                                       indices=root, return_predecessors=True)
+        parent = np.where(parent < 0, -1, parent).astype(np.int64)
+    else:
+        dist, parent = dijkstra(graph, root, allowed=within)
     reachable = np.where(np.isfinite(dist))[0]
     if members is None:
         keep = set(int(v) for v in reachable)
@@ -157,67 +176,201 @@ def shortest_path_tree(
     return Tree(root=int(root), parent=parent_map, edge_weight=weight_map)
 
 
-class DistanceOracle:
-    """All-pairs distances with the ball / nearest-set queries of the paper.
+def exact_distance_oracle(graph: WeightedGraph,
+                          oracle: Optional["DistanceOracle"] = None) -> "DistanceOracle":
+    """The oracle a routing-scheme construction may use: exact distances only.
 
-    The oracle pre-computes (or accepts) the full distance matrix and a
-    per-source ordering of all nodes by (distance, node-index) — the paper's
-    lexicographic tie-break for ``N(u, m, Z)``.
+    Every scheme (and scheme building block) funnels its default-oracle
+    creation through here, so an approximate backend — whether passed
+    explicitly or forced globally via ``REPRO_DISTANCE_BACKEND=landmark`` —
+    is rejected instead of silently producing wrong tables and stretch.
+    """
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    require(oracle.exact,
+            f"routing-scheme construction needs exact distances; the "
+            f"{oracle.backend_name!r} backend is approximate (unset "
+            f"REPRO_DISTANCE_BACKEND or pass an exact oracle)")
+    return oracle
+
+
+class DistanceOracle:
+    """Ball / nearest-set queries of the paper over a pluggable distance store.
+
+    The oracle owns a :class:`DistanceBackend` and derives every query
+    (``B(u, r)``, ``N(u, m, Z)``, pair batches, global stats) from the
+    backend's row / order primitives.  The per-source ordering of all nodes by
+    (distance, node-index) realizes the paper's lexicographic tie-break for
+    ``N(u, m, Z)`` identically under every exact backend.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    matrix:
+        Optional pre-computed APSP matrix; forces the dense backend
+        (backwards-compatible with the pre-refactor constructor).
+    backend:
+        A backend instance, a name (``"dense"``, ``"lazy"``, ``"landmark"``,
+        ``"auto"``), or ``None`` for automatic selection by graph size
+        (see ``REPRO_DISTANCE_BACKEND`` / ``REPRO_DENSE_NODE_LIMIT``).
     """
 
-    def __init__(self, graph: WeightedGraph, matrix: Optional[np.ndarray] = None) -> None:
+    def __init__(self, graph: WeightedGraph, matrix: Optional[np.ndarray] = None,
+                 backend: BackendLike = None) -> None:
         self.graph = graph
-        self.matrix = all_pairs_distances(graph) if matrix is None else np.asarray(matrix, dtype=float)
-        require(self.matrix.shape == (graph.n, graph.n),
-                "distance matrix shape does not match the graph")
-        # argsort is stable for equal keys, so sorting by distance with node
-        # index as the implicit secondary key realizes the lexicographic
-        # tie-break of Definition N(u, m, Z).
-        self._order = np.argsort(self.matrix, axis=1, kind="stable")
+        if matrix is not None:
+            require(backend is None or backend == "dense",
+                    "an explicit matrix implies the dense backend")
+            self.backend: DistanceBackend = DenseAPSPBackend(graph, matrix=matrix)
+        else:
+            self.backend = resolve_backend(graph, backend)
+
+    # -- backend introspection ------------------------------------------ #
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend (``dense`` / ``lazy`` / ``landmark``)."""
+        return self.backend.name
+
+    @property
+    def exact(self) -> bool:
+        """Whether distances are exact shortest-path distances."""
+        return self.backend.exact
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full APSP matrix — only available on the dense backend.
+
+        Code that needs whole-matrix access should prefer the streaming
+        ``rows`` / ``iter_row_blocks`` API, which works under every backend.
+        """
+        dense = self.backend
+        if isinstance(dense, DenseAPSPBackend):
+            return dense.matrix
+        raise AttributeError(
+            f"the {self.backend_name!r} backend does not materialize the full "
+            "matrix; use rows()/iter_row_blocks() or build the oracle with "
+            "backend='dense'")
+
+    def nbytes(self) -> int:
+        """Resident memory of the distance store (approximate)."""
+        return self.backend.nbytes()
 
     # -- plain distance queries ---------------------------------------- #
     def dist(self, u: int, v: int) -> float:
         """Shortest-path distance between ``u`` and ``v``."""
-        return float(self.matrix[u, v])
+        return self.backend.dist(u, v)
 
     def row(self, u: int) -> np.ndarray:
-        """All distances from ``u`` (a view into the matrix)."""
-        return self.matrix[u]
+        """All distances from ``u`` (read-only; do not mutate)."""
+        return self.backend.row(u)
+
+    def rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Stacked distance rows for ``sources``, shape ``(len, n)``."""
+        return self.backend.rows(sources)
+
+    def prefetch(self, sources: Sequence[int]) -> None:
+        """Hint that the rows of ``sources`` are about to be queried (batched fill)."""
+        self.backend.prefetch(sources)
+
+    def block_rows(self) -> int:
+        """Preferred chunk size for streaming row access under this backend."""
+        return self.backend.preferred_block()
+
+    def iter_row_blocks(self, block: Optional[int] = None) -> Iterator[Tuple[List[int], np.ndarray]]:
+        """Stream ``(source_indices, row_block)`` over all sources in order.
+
+        The canonical way to run a whole-metric computation without holding
+        O(n²) memory under the lazy backend.  The default block size matches
+        the backends' chunking so streamed requests stay cache-aligned.
+        """
+        if block is None:
+            block = self.block_rows()
+        n = self.graph.n
+        for start in range(0, n, block):
+            chunk = list(range(start, min(start + block, n)))
+            yield chunk, self.backend.rows(chunk)
+
+    def iter_prefetched_chunks(self, items: Sequence, source=None) -> Iterator[List]:
+        """Stream ``items`` in backend-sized chunks, prefetching rows per chunk.
+
+        ``source`` maps an item to the node index whose row the loop body will
+        query (identity by default).  This is the shared shape of every
+        "prefetch then consume" loop in the layers above ``graphs/``; sizing
+        the chunks here guarantees a prefetch is never truncated below the
+        chunk it serves.
+        """
+        items = list(items)
+        block = self.block_rows()
+        for start in range(0, len(items), block):
+            chunk = items[start:start + block]
+            if source is None:
+                self.prefetch(chunk)
+            else:
+                self.prefetch(sorted({source(item) for item in chunk}))
+            yield chunk
+
+    def pair_distances(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        """Vectorized ``d(sources[i], targets[i])`` for parallel index arrays."""
+        us = np.asarray(list(sources), dtype=np.int64)
+        vs = np.asarray(list(targets), dtype=np.int64)
+        require(us.shape == vs.shape, "sources and targets must have equal length")
+        if us.size == 0:
+            return np.zeros(0)
+        dense = self.backend
+        if isinstance(dense, DenseAPSPBackend):
+            return dense.matrix[us, vs]
+        out = np.empty(us.size)
+        # group the batch into per-source runs once (O(B log B)) instead of
+        # rescanning the whole source array per unique source
+        order = np.argsort(us, kind="stable")
+        us_sorted = us[order]
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], us_sorted[1:] != us_sorted[:-1])))
+        run_ends = np.concatenate((run_starts[1:], [us.size]))
+        runs = list(zip(us_sorted[run_starts].tolist(),
+                        run_starts.tolist(), run_ends.tolist()))
+        for chunk in self.iter_prefetched_chunks(runs, source=lambda run: run[0]):
+            for s, start, end in chunk:
+                indices = order[start:end]
+                out[indices] = self.backend.row(int(s))[vs[indices]]
+        return out
 
     def eccentricity(self, u: int) -> float:
         """Largest finite distance from ``u``."""
-        finite = self.matrix[u][np.isfinite(self.matrix[u])]
+        row = self.backend.row(u)
+        finite = row[np.isfinite(row)]
         return float(finite.max()) if finite.size else 0.0
 
     def diameter(self) -> float:
         """Largest finite pairwise distance."""
-        finite = self.matrix[np.isfinite(self.matrix)]
-        return float(finite.max()) if finite.size else 0.0
+        return self.backend.stats().diameter
 
     def min_positive_distance(self) -> float:
         """Smallest nonzero pairwise distance (the paper normalizes this to 1)."""
-        vals = self.matrix[np.isfinite(self.matrix) & (self.matrix > 0)]
-        return float(vals.min()) if vals.size else 1.0
+        return self.backend.stats().min_positive
 
     def aspect_ratio(self) -> float:
         """Aspect ratio Δ = max distance / min positive distance."""
-        d = self.diameter()
-        m = self.min_positive_distance()
-        return d / m if m > 0 else float("inf")
+        return self.backend.stats().aspect_ratio
 
     # -- balls and nearest sets ----------------------------------------- #
+    def ball_indices(self, u: int, radius: float) -> np.ndarray:
+        """``B(u, r)`` as a sorted index array (zero-copy hot-path variant)."""
+        row = self.backend.row(u)
+        return np.where(row <= radius + 1e-12)[0]
+
     def ball(self, u: int, radius: float) -> List[int]:
         """``B(u, r)``: nodes within distance ``radius`` of ``u`` (inclusive)."""
-        row = self.matrix[u]
-        return [int(v) for v in np.where(row <= radius + 1e-12)[0]]
+        return [int(v) for v in self.ball_indices(u, radius)]
 
     def ball_size(self, u: int, radius: float) -> int:
         """``|B(u, r)|``."""
-        return int(np.count_nonzero(self.matrix[u] <= radius + 1e-12))
+        return int(np.count_nonzero(self.backend.row(u) <= radius + 1e-12))
 
     def nodes_by_distance(self, u: int) -> np.ndarray:
         """All nodes sorted by (distance from u, node index)."""
-        return self._order[u]
+        return self.backend.order(u)
 
     def nearest(self, u: int, m: int, candidates: Optional[Sequence[int]] = None) -> List[int]:
         """``N(u, m, Z)``: the ``m`` closest nodes of ``Z`` to ``u``.
@@ -228,29 +381,57 @@ class DistanceOracle:
         """
         if m <= 0:
             return []
-        order = self._order[u]
+        row = self.backend.row(u)
         if candidates is None:
-            allowed = None
-        else:
-            allowed = np.zeros(self.graph.n, dtype=bool)
-            for v in candidates:
-                allowed[v] = True
-        out: List[int] = []
-        row = self.matrix[u]
-        for v in order:
-            v = int(v)
-            if not np.isfinite(row[v]):
-                break
-            if allowed is not None and not allowed[v]:
-                continue
-            out.append(v)
-            if len(out) == m:
-                break
-        return out
+            # the order array puts unreachable nodes last, so the m closest
+            # reachable nodes are simply its finite prefix
+            order = self.backend.order(u)
+            reachable = int(np.count_nonzero(np.isfinite(row)))
+            return [int(v) for v in order[:min(m, reachable)]]
+        cand = np.unique(np.asarray(list(candidates), dtype=np.int64))
+        if cand.size == 0:
+            return []
+        dists = row[cand]
+        finite = np.isfinite(dists)
+        cand, dists = cand[finite], dists[finite]
+        # lexsort's last key is primary: sort by distance, then node index
+        # (cand is sorted, realizing the paper's lexicographic tie-break)
+        ranked = cand[np.lexsort((cand, dists))]
+        return [int(v) for v in ranked[:m]]
+
+    def nearest_member(self, members: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """For every node, its closest member of ``members`` plus the distance.
+
+        Returns ``(ids, dists)`` of length ``n``.  Ties are broken by member
+        node index (the paper's lexicographic rule): members are sorted here,
+        so ``argmin``'s first-occurrence rule picks the smallest id — callers
+        don't need to maintain the sortedness invariant themselves.  This is
+        the batched sibling of ``nearest(u, 1, members)`` used by the
+        landmark/pivot selections of the baselines.
+        """
+        members_arr = np.asarray(sorted(set(int(v) for v in members)), dtype=np.int64)
+        require(members_arr.size > 0, "nearest_member needs at least one member")
+        n = self.graph.n
+        columns = np.arange(n)
+        # chunk-wise running argmin keeps memory at O(block · n) even for
+        # member sets of size ~n; strict '<' preserves the lexicographic
+        # tie-break because chunks ascend by member id
+        best_ids = np.full(n, int(members_arr[0]), dtype=np.int64)
+        best_dists = np.full(n, np.inf)
+        for chunk in self.iter_prefetched_chunks(members_arr):
+            chunk_arr = np.asarray(chunk, dtype=np.int64)
+            rows = self.backend.rows(chunk_arr)
+            local_best = np.argmin(rows, axis=0)
+            local_dists = rows[local_best, columns]
+            better = local_dists < best_dists
+            best_ids[better] = chunk_arr[local_best[better]]
+            best_dists[better] = local_dists[better]
+        return best_ids, best_dists
 
     def farthest_of(self, u: int, nodes: Sequence[int]) -> float:
         """Largest distance from ``u`` to any node in ``nodes`` (0 if empty)."""
         nodes = list(nodes)
         if not nodes:
             return 0.0
-        return float(max(self.matrix[u, v] for v in nodes))
+        row = self.backend.row(u)
+        return float(max(row[v] for v in nodes))

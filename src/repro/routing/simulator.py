@@ -1,14 +1,22 @@
-"""Hop-by-hop evaluation of routing schemes.
+"""Batched hop-by-hop evaluation of routing schemes.
 
 The simulator takes a scheme instance, samples (or receives) source /
 destination pairs, asks the scheme to route each one, **independently
-verifies** the returned walk (consecutive nodes must be graph-adjacent; the
+verifies** the returned walks (consecutive nodes must be graph-adjacent; the
 cost is recomputed from edge weights), and aggregates stretch statistics
 against exact shortest-path distances.
+
+Since the batched-engine refactor the data plane is vectorized: pair sampling
+rejects disconnected candidates with one component-id array comparison (no
+per-candidate distance query), walk verification checks every hop of every
+walk through one CSR gather, and stretch statistics are computed with NumPy
+over the whole batch.  Only ``scheme.route`` itself remains per-pair — it is
+the system under test.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +32,10 @@ from repro.utils.validation import require
 
 class InvalidRouteError(RuntimeError):
     """Raised when a scheme returns a walk that does not exist in the graph."""
+
+
+class PairSamplingError(ValueError):
+    """Raised when the requested number of connected pairs cannot be sampled."""
 
 
 @dataclass
@@ -88,31 +100,77 @@ class RoutingSimulator:
     # ------------------------------------------------------------------ #
     # pair sampling
     # ------------------------------------------------------------------ #
-    def sample_pairs(self, num_pairs: int, seed=None,
-                     distinct: bool = True) -> List[Tuple[int, int]]:
-        """Sample source/destination pairs uniformly among connected pairs."""
-        rng = make_rng(seed)
-        pairs: List[Tuple[int, int]] = []
+    def sample_pairs(self, num_pairs: int, seed=None, distinct: bool = True,
+                     on_shortfall: str = "raise") -> List[Tuple[int, int]]:
+        """Sample source/destination pairs uniformly among connected pairs.
+
+        Candidates are drawn in vectorized batches and rejected with one
+        component-id comparison (two nodes are connected iff their component
+        ids agree) — no per-candidate distance query.  If the graph admits no
+        valid pair at all, or the defensive attempt cap trips, the shortfall
+        is reported instead of silently returning fewer pairs:
+        ``on_shortfall="raise"`` (default) raises :class:`PairSamplingError`,
+        ``"warn"`` emits a warning and returns the partial list.
+        """
+        require(on_shortfall in ("raise", "warn"),
+                f"on_shortfall must be 'raise' or 'warn', got {on_shortfall!r}")
         n = self.graph.n
         require(n >= 2, "need at least two nodes to sample pairs")
-        attempts = 0
-        while len(pairs) < num_pairs and attempts < 100 * num_pairs + 1000:
-            attempts += 1
-            u = int(rng.integers(0, n))
-            v = int(rng.integers(0, n))
-            if distinct and u == v:
-                continue
-            if not np.isfinite(self.oracle.dist(u, v)):
-                continue
-            pairs.append((u, v))
+        if num_pairs <= 0:
+            return []
+        comp = self.graph.component_ids()
+        counts = np.bincount(comp)
+        # a valid pair needs a component with >= 2 nodes (distinct) or any
+        # node at all (self-pairs allowed)
+        if distinct and not np.any(counts >= 2):
+            message = (f"graph has no connected pair of distinct nodes "
+                       f"({num_pairs} requested)")
+            if on_shortfall == "raise":
+                raise PairSamplingError(message)
+            warnings.warn(message, stacklevel=2)
+            return []
+
+        rng = make_rng(seed)
+        # acceptance probability of one uniform candidate pair, used to size
+        # the rejection batches
+        counts = counts.astype(float)
+        if distinct:
+            acceptance = float(np.sum(counts * (counts - 1.0))) / (n * n)
+        else:
+            acceptance = float(np.sum(counts ** 2)) / (n * n)
+        acceptance = max(acceptance, 1e-9)
+
+        pairs: List[Tuple[int, int]] = []
+        max_batches = 200
+        for _ in range(max_batches):
+            need = num_pairs - len(pairs)
+            if need <= 0:
+                break
+            # cap the draw so near-zero acceptance cannot demand a huge
+            # allocation; the outer loop keeps drawing batches as needed
+            batch = min(max(int(need / acceptance * 1.2) + 8, need), 1_000_000)
+            us = rng.integers(0, n, size=batch)
+            vs = rng.integers(0, n, size=batch)
+            keep = comp[us] == comp[vs]
+            if distinct:
+                keep &= us != vs
+            us, vs = us[keep][:need], vs[keep][:need]
+            pairs.extend(zip(us.tolist(), vs.tolist()))
+        if len(pairs) < num_pairs:
+            message = (f"sampled only {len(pairs)} of {num_pairs} requested "
+                       f"connected pairs after {max_batches} batches")
+            if on_shortfall == "raise":
+                raise PairSamplingError(message)
+            warnings.warn(message, stacklevel=2)
         return pairs
 
     def all_pairs(self) -> List[Tuple[int, int]]:
         """Every ordered connected pair (use only for small graphs)."""
+        comp = self.graph.component_ids()
         out = []
         for u in range(self.graph.n):
             for v in range(self.graph.n):
-                if u != v and np.isfinite(self.oracle.dist(u, v)):
+                if u != v and comp[u] == comp[v]:
                     out.append((u, v))
         return out
 
@@ -139,9 +197,128 @@ class RoutingSimulator:
                 f"destination is {destination}")
         return cost
 
+    def verify_walks(self, results: Sequence[RouteResult], sources: Sequence[int],
+                     destinations: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`verify_walk` over a batch; returns true walk costs.
+
+        All hops of all walks are validated through one CSR weight gather:
+        a gathered weight of zero means the edge does not exist (edge weights
+        are strictly positive), so a single comparison flags every infeasible
+        step in the batch.
+        """
+        require(len(results) == len(sources) == len(destinations),
+                "results, sources and destinations must have equal length")
+        if not results:
+            return np.zeros(0)
+        heads: List[int] = []
+        tails: List[int] = []
+        segments: List[int] = []
+        for index, (result, source) in enumerate(zip(results, sources)):
+            path = result.path
+            require(len(path) >= 1, "route result has an empty path")
+            if path[0] != source:
+                raise InvalidRouteError(
+                    f"walk starts at {path[0]}, expected source {source}")
+            for a, b in zip(path, path[1:]):
+                if a == b:
+                    continue
+                heads.append(a)
+                tails.append(b)
+                segments.append(index)
+        costs = np.zeros(len(results))
+        if heads:
+            csr = self.graph.to_scipy_csr()
+            head_arr = np.asarray(heads, dtype=np.int64)
+            tail_arr = np.asarray(tails, dtype=np.int64)
+            # bounds-check before the gather: CSR fancy indexing would wrap
+            # negative ids onto real nodes and certify a non-existent walk
+            out_of_range = ((head_arr < 0) | (head_arr >= self.graph.n)
+                            | (tail_arr < 0) | (tail_arr >= self.graph.n))
+            if out_of_range.any():
+                bad = int(np.where(out_of_range)[0][0])
+                raise InvalidRouteError(
+                    f"walk step ({heads[bad]}, {tails[bad]}) is outside the graph")
+            weights = np.asarray(csr[head_arr, tail_arr]).ravel()
+            missing = np.where(weights <= 0.0)[0]
+            if missing.size:
+                bad = int(missing[0])
+                raise InvalidRouteError(
+                    f"walk uses non-existent edge ({heads[bad]}, {tails[bad]})")
+            np.add.at(costs, np.asarray(segments, dtype=np.int64), weights)
+        for result, destination in zip(results, destinations):
+            if result.found and result.path[-1] != destination:
+                raise InvalidRouteError(
+                    f"scheme reports 'found' but walk ends at {result.path[-1]}, "
+                    f"destination is {destination}")
+        return costs
+
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
+    def evaluate_batch(
+        self,
+        scheme: RoutingSchemeInstance,
+        pairs: Sequence[Tuple[int, int]],
+        keep_outcomes: bool = False,
+    ) -> EvaluationReport:
+        """Route every pair through ``scheme``; verify and score with NumPy.
+
+        Shortest distances for the whole batch come from one vectorized
+        ``pair_distances`` call (grouped per source under the lazy backend),
+        walk verification is one CSR gather, and the stretch statistics are
+        array reductions — the only per-pair Python work is the scheme's own
+        ``route``.
+        """
+        pairs = [(int(u), int(v)) for u, v in pairs]
+        names = self.graph.names_view()
+        sources = np.asarray([u for u, _ in pairs], dtype=np.int64)
+        destinations = np.asarray([v for _, v in pairs], dtype=np.int64)
+        shortest = self.oracle.pair_distances(sources, destinations)
+
+        results: List[RouteResult] = [
+            scheme.route(u, names[v]) for u, v in pairs
+        ]
+        costs = self.verify_walks(results, sources, destinations)
+        found = np.asarray([r.found for r in results], dtype=bool)
+
+        stretches = np.full(len(pairs), np.inf)
+        trivial = found & (shortest <= 0)
+        proper = found & (shortest > 0)
+        stretches[trivial] = 1.0
+        stretches[proper] = costs[proper] / shortest[proper]
+        failures = int(np.count_nonzero(~found))
+        max_header = max((r.max_header_bits for r in results), default=0)
+
+        outcomes: List[PairOutcome] = []
+        if keep_outcomes:
+            for i, ((u, v), result) in enumerate(zip(pairs, results)):
+                outcomes.append(PairOutcome(
+                    source=u, destination=v, shortest=float(shortest[i]),
+                    cost=float(costs[i]), stretch=float(stretches[i]),
+                    hops=result.hops, found=result.found,
+                    strategy=result.strategy, phases_used=result.phases_used,
+                    max_header_bits=result.max_header_bits,
+                ))
+
+        finite = stretches[np.isfinite(stretches)]
+        if finite.size == 0:
+            finite = np.asarray([np.inf])
+        return EvaluationReport(
+            scheme=scheme.scheme_name,
+            n=self.graph.n,
+            num_pairs=len(pairs),
+            max_stretch=float(stretches.max()) if len(pairs) else 0.0,
+            avg_stretch=float(np.mean(finite)),
+            median_stretch=float(np.median(finite)),
+            p95_stretch=float(np.percentile(finite, 95)),
+            max_header_bits=max_header,
+            failures=failures,
+            max_table_bits=scheme.max_table_bits(),
+            avg_table_bits=scheme.avg_table_bits(),
+            max_label_bits=scheme.max_label_bits(),
+            outcomes=outcomes,
+        )
+
     def evaluate(
         self,
         scheme: RoutingSchemeInstance,
@@ -153,45 +330,4 @@ class RoutingSimulator:
         """Route every pair through ``scheme`` and aggregate stretch statistics."""
         if pairs is None:
             pairs = self.sample_pairs(num_pairs, seed=seed)
-        outcomes: List[PairOutcome] = []
-        stretches: List[float] = []
-        failures = 0
-        max_header = 0
-        for u, v in pairs:
-            shortest = self.oracle.dist(u, v)
-            result = scheme.route(u, self.graph.name_of(v))
-            cost = self.verify_walk(result, u, v)
-            if not result.found:
-                failures += 1
-                stretch = float("inf")
-            elif shortest <= 0:
-                stretch = 1.0
-            else:
-                stretch = cost / shortest
-            stretches.append(stretch)
-            max_header = max(max_header, result.max_header_bits)
-            if keep_outcomes:
-                outcomes.append(PairOutcome(
-                    source=u, destination=v, shortest=shortest, cost=cost,
-                    stretch=stretch, hops=result.hops, found=result.found,
-                    strategy=result.strategy, phases_used=result.phases_used,
-                    max_header_bits=result.max_header_bits,
-                ))
-        finite = [s for s in stretches if np.isfinite(s)]
-        if not finite:
-            finite = [float("inf")]
-        return EvaluationReport(
-            scheme=scheme.scheme_name,
-            n=self.graph.n,
-            num_pairs=len(pairs),
-            max_stretch=float(max(stretches)) if stretches else 0.0,
-            avg_stretch=float(np.mean(finite)),
-            median_stretch=float(np.median(finite)),
-            p95_stretch=float(np.percentile(finite, 95)),
-            max_header_bits=max_header,
-            failures=failures,
-            max_table_bits=scheme.max_table_bits(),
-            avg_table_bits=scheme.avg_table_bits(),
-            max_label_bits=scheme.max_label_bits(),
-            outcomes=outcomes,
-        )
+        return self.evaluate_batch(scheme, pairs, keep_outcomes=keep_outcomes)

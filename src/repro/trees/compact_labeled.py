@@ -92,6 +92,11 @@ class CompactTreeRouting:
         # labels: computed by a DFS that threads the light-edge list down
         self._labels: Dict[int, TreeLabel] = {}
         self._compute_labels()
+        # the structure is immutable from here on; cache the O(m) aggregates
+        # that per-node accounting queries repeatedly (they were O(m²) per
+        # tree before the caching, the top cost of sparse-strategy builds)
+        self._max_label_bits: Optional[int] = None
+        self._max_table_bits: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -133,8 +138,11 @@ class CompactTreeRouting:
         return self.label_of(v).size_bits(self.m)
 
     def max_label_bits(self) -> int:
-        """Largest label size."""
-        return max((self.label_bits(v) for v in self.tree.nodes), default=0)
+        """Largest label size (cached)."""
+        if self._max_label_bits is None:
+            self._max_label_bits = max(
+                (self.label_bits(v) for v in self.tree.nodes), default=0)
+        return self._max_label_bits
 
     def table_budget(self, v: int) -> BitBudget:
         """Bit budget of node ``v``'s routing table."""
@@ -154,12 +162,15 @@ class CompactTreeRouting:
         return self.table_budget(v).total()
 
     def max_table_bits(self) -> int:
-        """Largest table in the tree."""
-        return max((self.table_bits(v) for v in self.tree.nodes), default=0)
+        """Largest table in the tree (cached)."""
+        if self._max_table_bits is None:
+            self._max_table_bits = max(
+                (self.table_bits(v) for v in self.tree.nodes), default=0)
+        return self._max_table_bits
 
     def header_bits(self) -> int:
         """Header size: the destination label travels in the header."""
-        return max((self.label_bits(v) for v in self.tree.nodes), default=0)
+        return self.max_label_bits()
 
     # ------------------------------------------------------------------ #
     # routing

@@ -1,0 +1,246 @@
+"""Backend-parity tests: every exact backend must be indistinguishable.
+
+The lazy backend must agree with the dense matrix to 1e-9 on distances,
+``ball``, ``nearest`` and tie-breaking order across seeded random graphs, and
+all six routing schemes must produce identical routes whichever exact backend
+the shared oracle uses.  The landmark backend is approximate: it must never
+underestimate and must be refused for scheme construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.backends import (
+    DenseAPSPBackend,
+    LandmarkApproxBackend,
+    LazyDijkstraBackend,
+    resolve_backend,
+)
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    random_geometric_graph,
+    ring_of_cliques,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.messages import RouteResult
+from repro.routing.simulator import (
+    InvalidRouteError,
+    PairSamplingError,
+    RoutingSimulator,
+)
+
+
+def parity_graphs():
+    yield random_geometric_graph(40, seed=301)
+    yield erdos_renyi_graph(36, seed=302)
+    yield grid_graph(5, 5, seed=303)
+    yield ring_of_cliques(4, 5, seed=304)
+    # ties on purpose: unit weights make many equidistant pairs
+    yield erdos_renyi_graph(30, weights="unit", seed=305)
+    # disconnected graph
+    yield WeightedGraph(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.5)], seed=306)
+
+
+class TestExactBackendParity:
+    @pytest.mark.parametrize("index,graph", list(enumerate(parity_graphs())))
+    def test_rows_balls_nearest_and_order_agree(self, index, graph):
+        dense = DistanceOracle(graph, backend="dense")
+        lazy = DistanceOracle(graph, backend=LazyDijkstraBackend(graph, cache_rows=8))
+        rng = np.random.default_rng(400 + index)
+        assert dense.diameter() == pytest.approx(lazy.diameter(), abs=1e-9)
+        assert dense.min_positive_distance() == pytest.approx(
+            lazy.min_positive_distance(), abs=1e-9)
+        for u in range(graph.n):
+            np.testing.assert_allclose(lazy.row(u), dense.row(u), atol=1e-9)
+            # identical stable tie-breaking order, not merely equal distances
+            np.testing.assert_array_equal(lazy.nodes_by_distance(u),
+                                          dense.nodes_by_distance(u))
+            radius = float(rng.uniform(0, max(dense.eccentricity(u), 1.0)))
+            assert lazy.ball(u, radius) == dense.ball(u, radius)
+            assert lazy.ball_size(u, radius) == dense.ball_size(u, radius)
+            m = int(rng.integers(1, graph.n + 1))
+            assert lazy.nearest(u, m) == dense.nearest(u, m)
+            candidates = [int(v) for v in rng.choice(graph.n, size=graph.n // 2,
+                                                     replace=False)]
+            assert (lazy.nearest(u, m, candidates)
+                    == dense.nearest(u, m, candidates))
+
+    def test_pair_distances_agree(self):
+        graph = random_geometric_graph(40, seed=311)
+        dense = DistanceOracle(graph, backend="dense")
+        lazy = DistanceOracle(graph, backend="lazy")
+        rng = np.random.default_rng(7)
+        us = rng.integers(0, graph.n, size=200)
+        vs = rng.integers(0, graph.n, size=200)
+        np.testing.assert_allclose(lazy.pair_distances(us, vs),
+                                   dense.pair_distances(us, vs), atol=1e-9)
+
+    def test_iter_row_blocks_covers_matrix(self):
+        graph = erdos_renyi_graph(30, seed=312)
+        dense = DistanceOracle(graph, backend="dense")
+        lazy = DistanceOracle(graph, backend=LazyDijkstraBackend(graph, cache_rows=4,
+                                                                 chunk_rows=7))
+        seen = []
+        for chunk, rows in lazy.iter_row_blocks(block=7):
+            np.testing.assert_allclose(rows, dense.matrix[chunk], atol=1e-9)
+            seen.extend(chunk)
+        assert seen == list(range(graph.n))
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_all_schemes_route_identically_under_either_backend(self, scheme_name):
+        graph = random_geometric_graph(36, seed=321)
+        dense = DistanceOracle(graph, backend="dense")
+        lazy = DistanceOracle(graph, backend="lazy")
+        scheme_dense = build_scheme(scheme_name, graph, k=2, seed=9, oracle=dense)
+        scheme_lazy = build_scheme(scheme_name, graph, k=2, seed=9, oracle=lazy)
+        pairs = RoutingSimulator(graph, oracle=dense).sample_pairs(80, seed=10)
+        for u, v in pairs:
+            a = scheme_dense.route(u, graph.name_of(v))
+            b = scheme_lazy.route(u, graph.name_of(v))
+            assert a.path == b.path
+            assert a.found == b.found
+            assert a.cost == pytest.approx(b.cost, abs=1e-9)
+
+
+class TestLazyBackendCache:
+    def test_lru_eviction_keeps_results_correct(self):
+        graph = erdos_renyi_graph(32, seed=331)
+        backend = LazyDijkstraBackend(graph, cache_rows=4)
+        dense = DistanceOracle(graph, backend="dense")
+        for u in list(range(graph.n)) + list(range(graph.n)):
+            np.testing.assert_allclose(backend.row(u), dense.row(u), atol=1e-9)
+            assert len(backend._rows) <= 4
+        assert backend.misses >= graph.n
+        assert backend.nbytes() <= 4 * graph.n * 8 * 2 + 1024
+
+    def test_prefetch_fills_cache_in_one_batch(self):
+        graph = erdos_renyi_graph(24, seed=332)
+        backend = LazyDijkstraBackend(graph, cache_rows=64)
+        backend.prefetch(range(10))
+        misses_after_prefetch = backend.misses
+        for u in range(10):
+            backend.row(u)
+        assert backend.misses == misses_after_prefetch  # all hits
+        assert backend.hits >= 10
+
+    def test_never_materializes_dense_matrix(self):
+        graph = erdos_renyi_graph(64, seed=333)
+        backend = LazyDijkstraBackend(graph, cache_rows=8)
+        oracle = DistanceOracle(graph, backend=backend)
+        oracle.diameter()
+        for u in range(graph.n):
+            oracle.ball_size(u, 1.0)
+        assert backend.nbytes() < graph.n * graph.n * 8 / 4
+        with pytest.raises(AttributeError):
+            _ = oracle.matrix
+
+
+class TestLandmarkApproxBackend:
+    def test_upper_bound_and_landmark_exactness(self):
+        graph = random_geometric_graph(40, seed=341)
+        dense = DistanceOracle(graph, backend="dense")
+        approx = DistanceOracle(graph, backend=LandmarkApproxBackend(graph,
+                                                                     num_landmarks=6))
+        assert not approx.exact
+        for u in range(graph.n):
+            true_row = dense.row(u)
+            est_row = approx.row(u)
+            assert est_row[u] == 0.0
+            # upper bound everywhere, finite wherever the true distance is
+            mask = np.isfinite(true_row)
+            assert np.all(est_row[mask] >= true_row[mask] - 1e-9)
+        for landmark in approx.backend.landmarks:
+            np.testing.assert_allclose(approx.row(landmark), dense.row(landmark),
+                                       atol=1e-9)
+
+    def test_scheme_construction_refuses_approximate_backend(self):
+        graph = random_geometric_graph(24, seed=342)
+        with pytest.raises(ValueError, match="exact"):
+            build_scheme("agm", graph, k=2, backend="landmark")
+
+    def test_env_forced_landmark_backend_is_rejected_for_schemes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTANCE_BACKEND", "landmark")
+        graph = random_geometric_graph(24, seed=343)
+        for scheme_name in ("agm", "thorup-zwick", "cowen"):
+            with pytest.raises(Exception, match="exact"):
+                build_scheme(scheme_name, graph, k=2, seed=1)
+
+    def test_every_component_receives_a_landmark(self):
+        graph = WeightedGraph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 2.0)],
+                              seed=344)
+        backend = LandmarkApproxBackend(graph, num_landmarks=4)
+        comp = graph.component_ids()
+        assert {int(comp[l]) for l in backend.landmarks} == set(comp.tolist())
+        # intra-component estimates are finite on both sides
+        assert np.isfinite(backend.dist(3, 5))
+        assert np.isfinite(backend.dist(0, 2))
+        assert not np.isfinite(backend.dist(0, 3))  # truly disconnected
+
+
+class TestBackendSelection:
+    def test_auto_picks_dense_for_small_graphs(self):
+        graph = erdos_renyi_graph(24, seed=351)
+        assert DistanceOracle(graph).backend_name == "dense"
+
+    def test_auto_respects_node_limit_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_NODE_LIMIT", "8")
+        graph = erdos_renyi_graph(24, seed=352)
+        assert DistanceOracle(graph).backend_name == "lazy"
+
+    def test_explicit_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTANCE_BACKEND", "lazy")
+        graph = erdos_renyi_graph(16, seed=353)
+        assert DistanceOracle(graph).backend_name == "lazy"
+
+    def test_unknown_name_rejected(self):
+        graph = erdos_renyi_graph(8, seed=354)
+        with pytest.raises(ValueError, match="unknown distance backend"):
+            resolve_backend(graph, "frobnicate")
+
+    def test_matrix_argument_forces_dense(self):
+        graph = erdos_renyi_graph(10, seed=355)
+        matrix = DistanceOracle(graph, backend="dense").matrix
+        oracle = DistanceOracle(graph, matrix=matrix)
+        assert isinstance(oracle.backend, DenseAPSPBackend)
+        assert oracle.backend_name == "dense"
+
+
+class TestVectorizedSampling:
+    def test_sample_pairs_exact_count_and_connected(self):
+        graph = WeightedGraph(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.5)], seed=361)
+        sim = RoutingSimulator(graph, oracle=DistanceOracle(graph, backend="dense"))
+        pairs = sim.sample_pairs(200, seed=1)
+        assert len(pairs) == 200
+        comp = graph.component_ids()
+        for u, v in pairs:
+            assert u != v and comp[u] == comp[v]
+        # node 5 is isolated: it can never appear in a pair
+        assert all(5 not in pair for pair in pairs)
+
+    def test_sample_pairs_deterministic_per_seed(self):
+        graph = erdos_renyi_graph(30, seed=362)
+        sim = RoutingSimulator(graph)
+        assert sim.sample_pairs(50, seed=3) == sim.sample_pairs(50, seed=3)
+        assert sim.sample_pairs(50, seed=3) != sim.sample_pairs(50, seed=4)
+
+    def test_verify_walks_rejects_out_of_range_node_ids(self):
+        graph = WeightedGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        sim = RoutingSimulator(graph, oracle=DistanceOracle(graph, backend="dense"))
+        # a negative id must not wrap onto a real node through the CSR gather
+        with pytest.raises(InvalidRouteError, match="outside the graph"):
+            sim.verify_walks([RouteResult(found=True, path=[0, -2, 2])], [0], [2])
+        with pytest.raises(InvalidRouteError, match="outside the graph"):
+            sim.verify_walks([RouteResult(found=True, path=[0, 7, 2])], [0], [2])
+
+    def test_shortfall_raises_by_default_and_warns_on_request(self):
+        isolated = WeightedGraph(4, [])  # no connected pair exists
+        sim = RoutingSimulator(isolated, oracle=DistanceOracle(isolated, backend="dense"))
+        with pytest.raises(PairSamplingError):
+            sim.sample_pairs(5, seed=0)
+        with pytest.warns(UserWarning, match="no connected pair"):
+            assert sim.sample_pairs(5, seed=0, on_shortfall="warn") == []

@@ -69,6 +69,30 @@ class TestHarness:
         r.add_row(a=1, b=2)
         assert r.rows == [{"a": 1, "b": 2}]
 
+    def test_run_matrix_parallel_matches_serial(self, small_er, small_geometric):
+        kwargs = dict(schemes=["shortest-path", "cowen", "thorup-zwick"],
+                      graphs=[("er", small_er), ("geo", small_geometric)],
+                      ks=[1, 2], num_pairs=20, seed=3)
+        serial = run_matrix("serial", **kwargs)
+        fanned = run_matrix("parallel", parallel=4, **kwargs)
+        assert len(fanned.rows) == len(serial.rows) == 12
+        # identical measurements in identical (deterministic) order; only the
+        # wall-time column may differ between runs
+        for left, right in zip(serial.rows, fanned.rows):
+            left = {k: v for k, v in left.items() if k != "build_seconds"}
+            right = {k: v for k, v in right.items() if k != "build_seconds"}
+            assert left == right
+
+    def test_run_matrix_lazy_backend_matches_dense(self, small_er):
+        kwargs = dict(schemes=["shortest-path"], graphs=[("er", small_er)],
+                      ks=[2], num_pairs=15, seed=5)
+        dense = run_matrix("dense", backend="dense", **kwargs)
+        lazy = run_matrix("lazy", backend="lazy", **kwargs)
+        for left, right in zip(dense.rows, lazy.rows):
+            left = {k: v for k, v in left.items() if k != "build_seconds"}
+            right = {k: v for k, v in right.items() if k != "build_seconds"}
+            assert left == right
+
 
 class TestReporting:
     def test_format_table_contains_values(self):
