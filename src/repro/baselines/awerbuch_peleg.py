@@ -84,6 +84,43 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
             self.tables[v].charge("home_pointers", scale_bits, count=self.num_scales)
 
     # ------------------------------------------------------------------ #
+    # compiled forwarding
+    # ------------------------------------------------------------------ #
+    def compile_forwarding(self):
+        """Compile every scale's cover trees; plan the scale-by-scale search."""
+        from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
+                                              TreeBank, mark_terminal, tree_leg)
+
+        bank = TreeBank(self.graph.n)
+        tree_id_of = {}
+        for routings in self.scales:
+            for routing in routings:
+                tree_id_of[id(routing)] = bank.add(routing.tree)
+        names = self.graph.names_view()
+        header = self.header_bits()
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            if source == destination:
+                return PacketPlan([], "awerbuch-peleg", 0)
+            target_name = names[destination]
+            legs = []
+            for scale in range(self.num_scales):
+                index = self.home[scale].get(source)
+                if index is None:
+                    continue
+                routing = self.scales[scale][index]
+                targets, found, _ = routing.plan_lookup(source, target_name)
+                tree = tree_id_of[id(routing)]
+                legs.extend(tree_leg(tree, t) for t in targets)
+                if found:
+                    mark_terminal(legs, "awerbuch-peleg", scale + 1)
+                    return PacketPlan(legs, "awerbuch-peleg", 0)
+            return PacketPlan(legs, "awerbuch-peleg", self.num_scales)
+
+        return ForwardingProgram(self.graph, plan, bank=bank,
+                                 header_bits=header, label="awerbuch-peleg")
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
     def route(self, source: int, destination_name: Hashable) -> RouteResult:

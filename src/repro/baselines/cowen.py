@@ -115,6 +115,38 @@ class CowenRouting(RoutingSchemeInstance):
         return bits_for_id(max(self.graph.n, 2)) + tree_label
 
     # ------------------------------------------------------------------ #
+    # compiled forwarding
+    # ------------------------------------------------------------------ #
+    def compile_forwarding(self):
+        """Compile cluster tables (sparse key array) + landmark trees (bank)."""
+        from repro.routing.forwarding import (ForwardingProgram, NextHopTable,
+                                              PacketPlan, TreeBank, table_leg,
+                                              tree_leg)
+
+        bank = TreeBank(self.graph.n)
+        tree_id_of = {a: bank.add(routing.tree) for a, routing in self._trees.items()}
+        cluster = NextHopTable.from_name_dicts(self.graph, self._cluster_next_hop)
+        header = self.header_bits()
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            if source == destination:
+                return PacketPlan([], "cowen", 0)
+            # phase 1: cluster routing; reaching the destination finalizes
+            legs = [table_leg(0, "cowen-cluster", 1)]
+            # phase 2: the destination's home-landmark tree.  The entry point
+            # is wherever phase 1 stopped, resolved dynamically by the engine
+            # (a miss there mirrors the scalar ``contains(current)`` guard).
+            home = self.home[destination]
+            routing = self._trees[home]
+            if routing.tree.contains(destination):
+                legs.append(tree_leg(tree_id_of[home], destination,
+                                     "cowen-landmark", 2, terminal=True))
+            return PacketPlan(legs, "cowen", 0)
+
+        return ForwardingProgram(self.graph, plan, bank=bank, tables=[cluster],
+                                 header_bits=header, label="cowen")
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
     def route(self, source: int, destination_name: Hashable) -> RouteResult:

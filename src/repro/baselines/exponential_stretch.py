@@ -110,6 +110,41 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
             self.tables[v].charge("nearest_landmarks", landmark_bits, count=self.k)
 
     # ------------------------------------------------------------------ #
+    # compiled forwarding
+    # ------------------------------------------------------------------ #
+    def compile_forwarding(self):
+        """Compile the responsibility trees; plan the level-by-level search."""
+        from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
+                                              TreeBank, mark_terminal, tree_leg)
+
+        bank = TreeBank(self.graph.n)
+        tree_id_of = {key: bank.add(routing.tree)
+                      for key, routing in self._tree_key.items()}
+        names = self.graph.names_view()
+        header = self.header_bits()
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            if source == destination:
+                return PacketPlan([], "exponential", 0)
+            target_name = names[destination]
+            legs = []
+            for i in range(self.k):
+                landmark = self.nearest[i][source]
+                routing = self._tree_key.get((i, landmark))
+                if routing is None or not routing.tree.contains(source):
+                    continue
+                targets, found, _ = routing.plan_lookup(source, target_name)
+                tree = tree_id_of[(i, landmark)]
+                legs.extend(tree_leg(tree, t) for t in targets)
+                if found:
+                    mark_terminal(legs, "exponential", i + 1)
+                    return PacketPlan(legs, "exponential", 0)
+            return PacketPlan(legs, "exponential", self.k)
+
+        return ForwardingProgram(self.graph, plan, bank=bank,
+                                 header_bits=header, label="exponential")
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
     def route(self, source: int, destination_name: Hashable) -> RouteResult:

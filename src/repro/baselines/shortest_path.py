@@ -50,6 +50,23 @@ class ShortestPathRouting(RoutingSchemeInstance):
             self.tables[u].charge("next_hop_entries", self.name_bits + port_bits,
                                   count=len(self._next_hop[u]))
 
+    def compile_forwarding(self):
+        """Compile the next-hop dicts into one sorted (node, dest) key table."""
+        from repro.routing.forwarding import (ForwardingProgram, NextHopTable,
+                                              PacketPlan, table_leg)
+
+        table = NextHopTable.from_name_dicts(self.graph, self._next_hop)
+        header = self.header_bits()
+        # only two distinct plans exist; share the (immutable) objects
+        self_plan = PacketPlan([], "shortest-path", 0)
+        table_plan = PacketPlan([table_leg(0, "shortest-path", 1)], "shortest-path", 0)
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            return self_plan if source == destination else table_plan
+
+        return ForwardingProgram(self.graph, plan, tables=[table],
+                                 header_bits=header, label="shortest-path")
+
     def route(self, source: int, destination_name: Hashable) -> RouteResult:
         """Follow the per-hop shortest-path tables."""
         result = RouteResult(found=False, path=[source], cost=0.0,

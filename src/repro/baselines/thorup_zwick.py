@@ -138,6 +138,41 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         return total
 
     # ------------------------------------------------------------------ #
+    # compiled forwarding
+    # ------------------------------------------------------------------ #
+    def compile_forwarding(self):
+        """Compile every pivot cluster tree into one tree bank.
+
+        Planning replays the level/pivot selection of :meth:`route` (pure
+        dict/membership checks); the single resulting leg is the unique tree
+        path to the destination, which is exactly the scalar walk.
+        """
+        from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
+                                              TreeBank, tree_leg)
+
+        bank = TreeBank(self.graph.n)
+        tree_id_of = {key: bank.add(routing.tree)
+                      for key, routing in self._trees.items()}
+        header = self.header_bits()
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            if source == destination:
+                return PacketPlan([], "thorup-zwick", 0)
+            for i in range(self.k):
+                for w in (self.pivot[i][destination], self.pivot[i][source]):
+                    routing = self._trees.get((i, w))
+                    if routing is None:
+                        continue
+                    if routing.tree.contains(source) and routing.tree.contains(destination):
+                        leg = tree_leg(tree_id_of[(i, w)], destination,
+                                       "thorup-zwick", i + 1, terminal=True)
+                        return PacketPlan([leg], "thorup-zwick", 0)
+            return PacketPlan([], "thorup-zwick", 0)
+
+        return ForwardingProgram(self.graph, plan, bank=bank,
+                                 header_bits=header, label="thorup-zwick")
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
     def route(self, source: int, destination_name: Hashable) -> RouteResult:

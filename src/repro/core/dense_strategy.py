@@ -164,3 +164,19 @@ class DenseStrategy:
         routing = self.home_tree_routing(u, i)
         result = routing.lookup(u, target_name)
         return list(result.path), result.cost, result.found, result.destination
+
+    def plan_route(self, u: int, i: int, target_name: Hashable
+                   ) -> Tuple[Optional[DictionaryTreeRouting], List[int], bool]:
+        """The waypoints of :meth:`route` without performing the walk.
+
+        Returns ``(routing, targets, found)``: the Lemma 7 lookup waypoints
+        (root, responsible node, then destination or back to ``u``) inside the
+        home tree of level ``i``, or ``(None, [], False)`` when the level is
+        inapplicable — the same case :meth:`route` degrades on.
+        """
+        require((u, i) in self.exponent_of, f"level {i} is not dense for node {u}")
+        if not self.is_applicable(u, i):
+            return None, [], False
+        routing = self.home_tree_routing(u, i)
+        targets, found, _ = routing.plan_lookup(u, target_name)
+        return routing, targets, found

@@ -161,6 +161,76 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         return result
 
     # ------------------------------------------------------------------ #
+    # compiled forwarding
+    # ------------------------------------------------------------------ #
+    def compile_forwarding(self):
+        """Compile the full AGM walk structure for the lockstep engine.
+
+        Every tree routing can touch — sparse-center Lemma 4 trees, dense
+        cover trees with their Lemma 7 dictionaries, the per-component
+        fallback trees — is registered in one :class:`TreeBank`.  Planning a
+        pair replays the level-by-level control flow of :meth:`route` (which
+        strategy, which dictionary hit or missed) without walking; the engine
+        supplies the identical hops as array operations.
+        """
+        from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
+                                              TreeBank, mark_terminal, tree_leg)
+
+        bank = TreeBank(self.graph.n)
+        tree_id_of: Dict[int, int] = {}
+
+        def register(routing) -> None:
+            tree_id_of[id(routing)] = bank.add(routing.tree)
+
+        for routing in self.sparse.trees.values():
+            register(routing)
+        for routings in self.dense.covers.values():
+            for routing in routings:
+                register(routing)
+        for routing in self._fallback.values():
+            register(routing)
+
+        names = self.graph.names_view()
+        header = self.header_bits()
+        k = self.k
+
+        def plan(source: int, destination: int) -> PacketPlan:
+            require(0 <= source < self.graph.n, f"source {source} out of range")
+            if source == destination:
+                return PacketPlan([], "local", 0)
+            target_name = names[destination]
+            legs = []
+            for i in range(k + 1):
+                if self.decomposition.is_dense(source, i):
+                    routing, targets, found = self.dense.plan_route(source, i, target_name)
+                    strategy = "dense"
+                else:
+                    routing, targets, found = self.sparse.plan_route(source, i, target_name)
+                    strategy = "sparse"
+                if routing is not None and targets:
+                    tree = tree_id_of[id(routing)]
+                    legs.extend(tree_leg(tree, t) for t in targets)
+                    if found:
+                        mark_terminal(legs, strategy, i + 1)
+                        return PacketPlan(legs, "not-found", k + 1)
+            notes = None
+            component = self._fallback_of_node.get(source)
+            if component is not None:
+                self.fallback_uses += 1
+                notes = {"fallback_used": 1.0}
+                routing = self._fallback[component]
+                targets, found, _ = routing.plan_lookup(source, target_name)
+                tree = tree_id_of[id(routing)]
+                legs.extend(tree_leg(tree, t) for t in targets)
+                if found:
+                    mark_terminal(legs, "fallback", k + 1)
+                    return PacketPlan(legs, "not-found", k + 1, notes=notes)
+            return PacketPlan(legs, "not-found", k + 1, notes=notes)
+
+        return ForwardingProgram(self.graph, plan, bank=bank,
+                                 header_bits=header, label="agm")
+
+    # ------------------------------------------------------------------ #
     # header accounting
     # ------------------------------------------------------------------ #
     def header_bits(self) -> int:

@@ -194,6 +194,29 @@ class SparseStrategy:
         walk, cost = _extend_walk(walk, cost, down, tree)
         return walk, cost, False, None
 
+    def plan_route(self, u: int, i: int, target_name: Hashable
+                   ) -> Tuple[Optional[NameIndependentTreeRouting], List[int], bool]:
+        """The waypoints of :meth:`route` without performing the walk.
+
+        Returns ``(routing, targets, found)``; ``targets`` lists the tree
+        nodes the walk heads for in order (the center, then the bounded
+        search's waypoints, then back to ``u`` on a miss) inside
+        ``routing``'s tree.  ``routing`` is ``None`` when the level cannot
+        walk at all (the same defensive case :meth:`route` degrades on).
+        """
+        require((u, i) in self.center_of, f"level {i} is not sparse for node {u}")
+        c = self.center_of[(u, i)]
+        routing = self.trees[c]
+        if not routing.tree.contains(u):
+            return None, [], False
+        targets = [c]
+        search_targets, found, _ = routing.plan_search_from_root(
+            target_name, j_bound=self.bound_of[(u, i)])
+        targets.extend(search_targets)
+        if not found:
+            targets.append(u)
+        return routing, targets, found
+
 
 def routing_max_digits(routing: NameIndependentTreeRouting) -> int:
     """Maximum primary-name length of a Lemma 4 structure (helper for accounting)."""

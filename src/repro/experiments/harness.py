@@ -56,6 +56,7 @@ def evaluate_scheme_on_graph(
     oracle: Optional[DistanceOracle] = None,
     scheme_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
+    engine: str = "auto",
 ) -> Dict[str, object]:
     """Build one scheme on one graph and measure stretch, space and build time."""
     oracle = oracle or DistanceOracle(graph, backend=backend)
@@ -64,9 +65,11 @@ def evaluate_scheme_on_graph(
     scheme = build_scheme(scheme_name, graph, k=k, seed=seed, oracle=oracle,
                           **(scheme_kwargs or {}))
     build_seconds = time.perf_counter() - start
-    report = simulator.evaluate(scheme, num_pairs=num_pairs, seed=seed + 1)
+    report = simulator.evaluate(scheme, num_pairs=num_pairs, seed=seed + 1,
+                                engine=engine)
     row: Dict[str, object] = {
         "scheme": scheme_name,
+        "engine": report.engine,
         "k": k,
         "n": graph.n,
         "m": graph.num_edges,
@@ -96,6 +99,7 @@ def run_matrix(
     scheme_kwargs: Optional[Dict[str, dict]] = None,
     parallel: Optional[int] = None,
     backend: BackendLike = None,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Run every (scheme, graph, k) combination.
 
@@ -113,6 +117,10 @@ def run_matrix(
     backend:
         Distance-backend spec forwarded to each graph's shared oracle
         (``"dense"``, ``"lazy"``, ``None`` for automatic selection).
+    engine:
+        Evaluation engine per cell (``"auto"`` = lockstep over compiled
+        forwarding tables where available, scalar otherwise).  Routes and
+        stretch are identical under either engine.
     """
     result = ExperimentResult(name=name)
     graphs = list(graphs)  # may be a one-shot iterable; iterated per mode below
@@ -121,7 +129,7 @@ def run_matrix(
         kwargs = (scheme_kwargs or {}).get(scheme_name, {})
         row = evaluate_scheme_on_graph(
             scheme_name, graph, k, num_pairs=num_pairs, seed=seed,
-            oracle=oracle, scheme_kwargs=kwargs)
+            oracle=oracle, scheme_kwargs=kwargs, engine=engine)
         row["graph"] = graph_label
         row["aspect_ratio"] = summary.aspect_ratio
         return row

@@ -99,7 +99,13 @@ class DistanceBackend:
         raise NotImplementedError
 
     def prefetch(self, sources: Sequence[int]) -> None:
-        """Hint that the rows of ``sources`` are about to be queried."""
+        """Hint that the rows of ``sources`` are about to be queried.
+
+        Part of the backend protocol: callers issue one ``prefetch`` per
+        evaluation round (all sources at once) so a backend can batch the
+        fill into a single multi-source computation.  The default is a no-op
+        (the dense backend already holds every row).
+        """
 
     def preferred_block(self) -> int:
         """Largest prefetch block this backend can actually hold at once.
@@ -263,19 +269,27 @@ class LazyDijkstraBackend(DistanceBackend):
         return out
 
     def prefetch(self, sources: Sequence[int]) -> None:
+        """Fill the cache for an upcoming round in **one** multi-source call.
+
+        All missing rows of the hint are computed by a single vectorized
+        Dijkstra kernel invocation, so a batched evaluation round (e.g. the
+        lockstep engine's source set) pays one kernel launch instead of one
+        cache miss per consumer step.  Hints larger than the cache would only
+        churn it, so they are truncated to the capacity the cache can
+        actually retain; later consumers fall back to the grouped ``rows``
+        path for the remainder.
+        """
         with self._lock:
             missing = sorted({int(s) for s in sources if int(s) not in self._rows})
-        # hints larger than the cache would only churn it: keep the most
-        # recent cache_rows worth, which the caller is about to consume first
         missing = missing[:self.cache_rows]
         if not missing:
             return
         self.misses += len(missing)
-        for start in range(0, len(missing), self.chunk_rows):
-            chunk = missing[start:start + self.chunk_rows]
-            block = self._compute(chunk)
-            for local, s in enumerate(chunk):
-                self._insert(s, block[local])
+        block = self._compute(missing)
+        for local, s in enumerate(missing):
+            # copy the row out of the block: caching a view would pin the
+            # whole block in memory for as long as any one row survives
+            self._insert(s, block[local].copy())
 
     def preferred_block(self) -> int:
         return min(self.chunk_rows, self.cache_rows)

@@ -109,6 +109,19 @@ class WeightedGraph:
         self._min_weight = min(self._min_weight, w)
         self._max_weight = max(self._max_weight, w)
 
+    def add_edge(self, u: int, v: int, w: float) -> None:
+        """Insert a new edge (or relax a parallel one), invalidating caches.
+
+        The CSR view and the cached component ids are dropped and rebuilt
+        lazily on next access, so connectivity queries (and the pair sampler
+        built on them) stay correct after mutation.  Distance oracles and
+        backends constructed earlier do not observe the mutation — rebuild
+        them after editing the graph.
+        """
+        self._add_edge(int(u), int(v), float(w))
+        self._csr = None
+        self._component_ids = None
+
     @classmethod
     def from_networkx(cls, g, weight: str = "weight",
                       names: Optional[Sequence[object]] = None,

@@ -3,6 +3,9 @@
 from repro.routing.messages import RouteResult, Header
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.routing.table import RoutingTable
+from repro.routing.forwarding import (ForwardingProgram, MemoizedScalarProgram,
+                                      NextHopTable, PacketPlan, TreeBank,
+                                      run_lockstep)
 from repro.routing.simulator import RoutingSimulator, EvaluationReport
 
 __all__ = [
@@ -12,4 +15,10 @@ __all__ = [
     "RoutingTable",
     "RoutingSimulator",
     "EvaluationReport",
+    "ForwardingProgram",
+    "MemoizedScalarProgram",
+    "NextHopTable",
+    "PacketPlan",
+    "TreeBank",
+    "run_lockstep",
 ]

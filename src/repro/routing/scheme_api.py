@@ -16,11 +16,14 @@ interface deliberately mirrors the quantities the paper trades off:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
 
 from repro.graphs.graph import WeightedGraph
 from repro.routing.messages import RouteResult
 from repro.routing.table import TableCollection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.routing.forwarding import ForwardingProgram
 
 
 class RoutingSchemeInstance(abc.ABC):
@@ -43,6 +46,37 @@ class RoutingSchemeInstance(abc.ABC):
     def route_by_index(self, source: int, destination: int) -> RouteResult:
         """Convenience wrapper: route to a destination given by node index."""
         return self.route(source, self.graph.name_of(destination))
+
+    # -- compiled forwarding ------------------------------------------------- #
+    def compile_forwarding(self) -> Optional["ForwardingProgram"]:
+        """Compile this scheme's routing state into a forwarding program.
+
+        Schemes that can express their per-hop decisions over flat arrays
+        (tree banks, next-hop tables) override this and return a
+        :class:`repro.routing.forwarding.ForwardingProgram`; the lockstep
+        batch engine then advances whole packet batches with array gathers
+        while producing walks identical to :meth:`route`.  The default
+        returns ``None``, which makes the simulator fall back to the
+        memoizing scalar replay program.
+        """
+        return None
+
+    def compiled_forwarding(self) -> "ForwardingProgram":
+        """The compiled forwarding program, built once and cached.
+
+        Falls back to :class:`repro.routing.forwarding.MemoizedScalarProgram`
+        (scalar routes memoized per pair and replayed in lockstep) when
+        :meth:`compile_forwarding` returns ``None``.
+        """
+        program = getattr(self, "_compiled_program", None)
+        if program is None:
+            program = self.compile_forwarding()
+            if program is None:
+                from repro.routing.forwarding import MemoizedScalarProgram
+
+                program = MemoizedScalarProgram(self)
+            self._compiled_program = program
+        return program
 
     # -- space accounting ---------------------------------------------------- #
     def table_bits(self, node: int) -> int:

@@ -6,12 +6,21 @@ verifies** the returned walks (consecutive nodes must be graph-adjacent; the
 cost is recomputed from edge weights), and aggregates stretch statistics
 against exact shortest-path distances.
 
-Since the batched-engine refactor the data plane is vectorized: pair sampling
-rejects disconnected candidates with one component-id array comparison (no
-per-candidate distance query), walk verification checks every hop of every
-walk through one CSR gather, and stretch statistics are computed with NumPy
-over the whole batch.  Only ``scheme.route`` itself remains per-pair — it is
-the system under test.
+Two evaluation engines are available (``engine=`` on :meth:`evaluate` /
+:meth:`evaluate_batch` / :meth:`route_batch`):
+
+* ``"scalar"`` — per-pair ``scheme.route()`` calls, the reference engine;
+* ``"lockstep"`` — the scheme's :meth:`compile_forwarding` program executed
+  by :func:`repro.routing.forwarding.run_lockstep`: all pending packets
+  advance one hop per step through array gathers over compiled forwarding
+  tables, producing walks identical to the scalar engine;
+* ``"auto"`` (default) — lockstep when the scheme compiles, scalar otherwise.
+
+Either way the data plane is vectorized: pair sampling rejects disconnected
+candidates with one component-id array comparison, walk verification checks
+every hop of every walk through one CSR gather, shortest distances for the
+round are prefetched into the backend in one batched call, and stretch
+statistics are computed with NumPy over the whole batch.
 """
 
 from __future__ import annotations
@@ -24,10 +33,14 @@ import numpy as np
 
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.forwarding import run_lockstep
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.utils.rng import make_rng
 from repro.utils.validation import require
+
+#: engine names accepted by evaluate / evaluate_batch / route_batch
+ENGINE_NAMES = ("auto", "scalar", "lockstep")
 
 
 class InvalidRouteError(RuntimeError):
@@ -70,6 +83,7 @@ class EvaluationReport:
     max_table_bits: int
     avg_table_bits: float
     max_label_bits: int
+    engine: str = "scalar"
     outcomes: List[PairOutcome] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
@@ -87,6 +101,7 @@ class EvaluationReport:
             "max_table_bits": self.max_table_bits,
             "avg_table_bits": self.avg_table_bits,
             "max_label_bits": self.max_label_bits,
+            "engine": self.engine,
         }
 
 
@@ -225,26 +240,11 @@ class RoutingSimulator:
                 heads.append(a)
                 tails.append(b)
                 segments.append(index)
-        costs = np.zeros(len(results))
-        if heads:
-            csr = self.graph.to_scipy_csr()
-            head_arr = np.asarray(heads, dtype=np.int64)
-            tail_arr = np.asarray(tails, dtype=np.int64)
-            # bounds-check before the gather: CSR fancy indexing would wrap
-            # negative ids onto real nodes and certify a non-existent walk
-            out_of_range = ((head_arr < 0) | (head_arr >= self.graph.n)
-                            | (tail_arr < 0) | (tail_arr >= self.graph.n))
-            if out_of_range.any():
-                bad = int(np.where(out_of_range)[0][0])
-                raise InvalidRouteError(
-                    f"walk step ({heads[bad]}, {tails[bad]}) is outside the graph")
-            weights = np.asarray(csr[head_arr, tail_arr]).ravel()
-            missing = np.where(weights <= 0.0)[0]
-            if missing.size:
-                bad = int(missing[0])
-                raise InvalidRouteError(
-                    f"walk uses non-existent edge ({heads[bad]}, {tails[bad]})")
-            np.add.at(costs, np.asarray(segments, dtype=np.int64), weights)
+        costs = self._gather_hop_costs(
+            np.asarray(segments, dtype=np.int64),
+            np.asarray(heads, dtype=np.int64),
+            np.asarray(tails, dtype=np.int64),
+            len(results))
         for result, destination in zip(results, destinations):
             if result.found and result.path[-1] != destination:
                 raise InvalidRouteError(
@@ -252,34 +252,148 @@ class RoutingSimulator:
                     f"destination is {destination}")
         return costs
 
+    def _gather_hop_costs(self, packet_idx: np.ndarray, heads: np.ndarray,
+                          tails: np.ndarray, num_packets: int) -> np.ndarray:
+        """Validate flattened hop arrays and accumulate per-packet walk costs.
+
+        Shared by :meth:`verify_walks` (which flattens Python paths) and the
+        lockstep engine (whose hop arrays come out of the run directly, in the
+        same packet-major chronological order — so the accumulated sums are
+        bit-identical between engines).  Self-hops (``head == tail``) are
+        ignored, everything else must be a graph edge.
+        """
+        costs = np.zeros(num_packets)
+        if packet_idx.size == 0:
+            return costs
+        real = heads != tails
+        heads, tails, packet_idx = heads[real], tails[real], packet_idx[real]
+        if packet_idx.size == 0:
+            return costs
+        # bounds-check before the gather: CSR fancy indexing would wrap
+        # negative ids onto real nodes and certify a non-existent walk
+        out_of_range = ((heads < 0) | (heads >= self.graph.n)
+                        | (tails < 0) | (tails >= self.graph.n))
+        if out_of_range.any():
+            bad = int(np.where(out_of_range)[0][0])
+            raise InvalidRouteError(
+                f"walk step ({heads[bad]}, {tails[bad]}) is outside the graph")
+        csr = self.graph.to_scipy_csr()
+        weights = np.asarray(csr[heads, tails]).ravel()
+        missing = np.where(weights <= 0.0)[0]
+        if missing.size:
+            bad = int(missing[0])
+            raise InvalidRouteError(
+                f"walk uses non-existent edge ({heads[bad]}, {tails[bad]})")
+        np.add.at(costs, packet_idx, weights)
+        return costs
+
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
+    def resolve_engine(self, scheme: RoutingSchemeInstance, engine: str) -> str:
+        """Turn an engine spec into ``"scalar"`` or ``"lockstep"``.
+
+        ``"auto"`` picks the lockstep engine when the scheme has a real
+        compiled program and the scalar engine when only the memoized
+        fallback is available (replaying scalar routes buys nothing then).
+        """
+        require(engine in ENGINE_NAMES,
+                f"engine must be one of {ENGINE_NAMES}, got {engine!r}")
+        if engine == "auto":
+            return "scalar" if scheme.compiled_forwarding().is_fallback else "lockstep"
+        return engine
+
+    def route_batch(self, scheme: RoutingSchemeInstance,
+                    pairs: Sequence[Tuple[int, int]],
+                    engine: str = "auto") -> List[RouteResult]:
+        """Route every pair and return the verified :class:`RouteResult` list."""
+        pairs = [(int(u), int(v)) for u, v in pairs]
+        sources = np.asarray([u for u, _ in pairs], dtype=np.int64)
+        destinations = np.asarray([v for _, v in pairs], dtype=np.int64)
+        engine = self.resolve_engine(scheme, engine)
+        results, _ = self._route_and_verify(scheme, pairs, sources,
+                                            destinations, engine)
+        return results
+
+    def _verify_lockstep(self, outcome, num_pairs: int,
+                         destinations: np.ndarray) -> np.ndarray:
+        """Validate a lockstep run's hop arrays and endpoint claims; return costs."""
+        costs = self._gather_hop_costs(outcome.hop_index, outcome.hop_heads,
+                                       outcome.hop_tails, num_pairs)
+        bad = outcome.found & (outcome.final_nodes != destinations)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise InvalidRouteError(
+                f"scheme reports 'found' but walk ends at "
+                f"{int(outcome.final_nodes[i])}, destination is "
+                f"{int(destinations[i])}")
+        return costs
+
+    @staticmethod
+    def _apply_costs(results: List[RouteResult], costs: np.ndarray,
+                     cost_override: np.ndarray) -> None:
+        """Fill verified costs into materialized results (overrides win)."""
+        replayed = ~np.isnan(cost_override)
+        for i, result in enumerate(results):
+            result.cost = float(cost_override[i]) if replayed[i] else float(costs[i])
+
+    def _route_and_verify(self, scheme, pairs, sources, destinations,
+                          engine) -> Tuple[List[RouteResult], np.ndarray]:
+        """Produce verified results + true walk costs under the given engine."""
+        if engine == "lockstep":
+            program = scheme.compiled_forwarding()
+            outcome = run_lockstep(program, sources, destinations, materialize=True)
+            costs = self._verify_lockstep(outcome, len(pairs), destinations)
+            self._apply_costs(outcome.results, costs, outcome.cost_override)
+            return outcome.results, costs
+        names = self.graph.names_view()
+        results = [scheme.route(u, names[v]) for u, v in pairs]
+        costs = self.verify_walks(results, sources, destinations)
+        return results, costs
+
     def evaluate_batch(
         self,
         scheme: RoutingSchemeInstance,
         pairs: Sequence[Tuple[int, int]],
         keep_outcomes: bool = False,
+        engine: str = "auto",
     ) -> EvaluationReport:
         """Route every pair through ``scheme``; verify and score with NumPy.
 
         Shortest distances for the whole batch come from one vectorized
-        ``pair_distances`` call (grouped per source under the lazy backend),
-        walk verification is one CSR gather, and the stretch statistics are
-        array reductions — the only per-pair Python work is the scheme's own
-        ``route``.
+        ``pair_distances`` call after a single round-level ``prefetch`` of
+        every source (one multi-source Dijkstra under the lazy backend), walk
+        verification is one CSR gather, and the stretch statistics are array
+        reductions.  Under ``engine="lockstep"`` even the per-hop routing is
+        array work; under ``"scalar"`` the scheme's own ``route`` remains the
+        only per-pair Python.
         """
         pairs = [(int(u), int(v)) for u, v in pairs]
-        names = self.graph.names_view()
         sources = np.asarray([u for u, _ in pairs], dtype=np.int64)
         destinations = np.asarray([v for _, v in pairs], dtype=np.int64)
+        engine = self.resolve_engine(scheme, engine)
+        if pairs:
+            # one batched fill of the backend's row cache for the whole round
+            self.oracle.prefetch(np.unique(sources))
         shortest = self.oracle.pair_distances(sources, destinations)
 
-        results: List[RouteResult] = [
-            scheme.route(u, names[v]) for u, v in pairs
-        ]
-        costs = self.verify_walks(results, sources, destinations)
-        found = np.asarray([r.found for r in results], dtype=bool)
+        if engine == "lockstep":
+            # array fast path: RouteResult objects are only materialized when
+            # the caller wants per-pair outcomes
+            program = scheme.compiled_forwarding()
+            outcome = run_lockstep(program, sources, destinations,
+                                   materialize=keep_outcomes)
+            costs = self._verify_lockstep(outcome, len(pairs), destinations)
+            found = outcome.found
+            max_header = int(outcome.header_bits.max()) if pairs else 0
+            results = outcome.results
+            if results is not None:
+                self._apply_costs(results, costs, outcome.cost_override)
+        else:
+            results, costs = self._route_and_verify(scheme, pairs, sources,
+                                                    destinations, engine)
+            found = np.asarray([r.found for r in results], dtype=bool)
+            max_header = max((r.max_header_bits for r in results), default=0)
 
         stretches = np.full(len(pairs), np.inf)
         trivial = found & (shortest <= 0)
@@ -287,10 +401,9 @@ class RoutingSimulator:
         stretches[trivial] = 1.0
         stretches[proper] = costs[proper] / shortest[proper]
         failures = int(np.count_nonzero(~found))
-        max_header = max((r.max_header_bits for r in results), default=0)
 
         outcomes: List[PairOutcome] = []
-        if keep_outcomes:
+        if keep_outcomes and results is not None:
             for i, ((u, v), result) in enumerate(zip(pairs, results)):
                 outcomes.append(PairOutcome(
                     source=u, destination=v, shortest=float(shortest[i]),
@@ -316,6 +429,7 @@ class RoutingSimulator:
             max_table_bits=scheme.max_table_bits(),
             avg_table_bits=scheme.avg_table_bits(),
             max_label_bits=scheme.max_label_bits(),
+            engine=engine,
             outcomes=outcomes,
         )
 
@@ -326,8 +440,10 @@ class RoutingSimulator:
         num_pairs: int = 200,
         seed=None,
         keep_outcomes: bool = False,
+        engine: str = "auto",
     ) -> EvaluationReport:
         """Route every pair through ``scheme`` and aggregate stretch statistics."""
         if pairs is None:
             pairs = self.sample_pairs(num_pairs, seed=seed)
-        return self.evaluate_batch(scheme, pairs, keep_outcomes=keep_outcomes)
+        return self.evaluate_batch(scheme, pairs, keep_outcomes=keep_outcomes,
+                                   engine=engine)

@@ -154,6 +154,27 @@ class DictionaryTreeRouting:
         """Lookup starting at the root (used when the caller already routed there)."""
         return self.lookup(self.tree.root, target_name)
 
+    def plan_lookup(self, source: int, target_name: Hashable
+                    ) -> Tuple[List[int], bool, Optional[int]]:
+        """The waypoints of :meth:`lookup` without performing the walk.
+
+        Returns ``(targets, found, destination)`` where ``targets`` is the
+        sequence of tree nodes the walk heads for in order (root, responsible
+        node, then the destination on a hit or back to ``source`` on a miss).
+        The compiled-forwarding layer turns each waypoint into a lockstep
+        tree leg; the resulting walk is identical to :meth:`lookup`'s.
+        """
+        require(self.tree.contains(source), f"source {source} is not in the tree")
+        responsible = self.responsible_node(target_name)
+        targets = [self.tree.root, responsible]
+        entry = self.buckets[responsible].get(target_name)
+        if entry is None:
+            targets.append(source)
+            return targets, False, None
+        destination = self.interval.node_with_label(entry)
+        targets.append(destination)
+        return targets, True, destination
+
     def _walk_to_label(self, result: DictionaryLookupResult, label: int) -> None:
         current = result.path[-1]
         seg, cost = self.interval.walk(current, label)

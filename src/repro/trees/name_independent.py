@@ -281,6 +281,44 @@ class NameIndependentTreeRouting:
         result.destination = None
         return result
 
+    def plan_search_from_root(self, target_name: Hashable,
+                              j_bound: Optional[int] = None
+                              ) -> Tuple[List[int], bool, Optional[int]]:
+        """The waypoints of :meth:`search_from_root` without performing the walk.
+
+        Returns ``(targets, found, destination)``: the sequence of tree nodes
+        the bounded search heads for in order (trie children along the hash
+        digits, then the destination once some dictionary knows it, or back
+        to the root on a miss).  Mirrors :meth:`search_from_root` decision for
+        decision, so the compiled-forwarding walk over these waypoints is
+        identical to the scalar search walk.
+        """
+        root = self.tree.root
+        if j_bound is None:
+            j_bound = max(self.max_digits, 1)
+        j_bound = max(1, int(j_bound))
+        targets: List[int] = []
+        target_hash = self.digit_hash.digits(target_name)
+        current = root
+        for round_no in range(1, j_bound + 1):
+            if self.names[current] == target_name:
+                return targets, True, current
+            known = self.dictionary[current].get(target_name)
+            if known is not None:
+                targets.append(known)
+                return targets, True, known
+            if round_no == j_bound:
+                break
+            digit = target_hash[round_no - 1] if round_no - 1 < len(target_hash) else 0
+            child = self.trie_children[current].get(digit)
+            if child is None:
+                break
+            targets.append(child)
+            current = child
+        if current != root:
+            targets.append(root)
+        return targets, False, None
+
     @staticmethod
     def _extend(result: BoundedSearchResult, segment: List[int], cost: float) -> None:
         if segment and result.path and segment[0] == result.path[-1]:

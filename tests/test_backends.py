@@ -128,6 +128,25 @@ class TestLazyBackendCache:
         assert backend.misses == misses_after_prefetch  # all hits
         assert backend.hits >= 10
 
+    def test_prefetch_uses_one_multi_source_call(self):
+        graph = erdos_renyi_graph(24, seed=334)
+        backend = LazyDijkstraBackend(graph, cache_rows=64, chunk_rows=4)
+        calls = []
+        original = backend._compute
+        backend._compute = lambda sources: calls.append(list(sources)) or original(sources)
+        backend.prefetch(range(12))
+        # one evaluation round -> one vectorized kernel invocation, even when
+        # the hint is larger than the streaming chunk size
+        assert len(calls) == 1 and len(calls[0]) == 12
+        backend.prefetch(range(12))  # already cached: no further kernel calls
+        assert len(calls) == 1
+
+    def test_prefetch_hint_truncated_to_cache_capacity(self):
+        graph = erdos_renyi_graph(24, seed=335)
+        backend = LazyDijkstraBackend(graph, cache_rows=6)
+        backend.prefetch(range(20))
+        assert len(backend._rows) <= 6
+
     def test_never_materializes_dense_matrix(self):
         graph = erdos_renyi_graph(64, seed=333)
         backend = LazyDijkstraBackend(graph, cache_rows=8)

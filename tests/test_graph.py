@@ -116,6 +116,18 @@ class TestStructure:
         assert not g.is_connected()
         assert triangle().is_connected()
 
+    def test_add_edge_invalidates_component_and_csr_caches(self):
+        g = WeightedGraph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        ids = g.component_ids()
+        assert ids[0] != ids[2]
+        assert g.to_scipy_csr()[0, 2] == 0.0
+        g.add_edge(1, 2, 2.5)
+        fresh = g.component_ids()
+        assert fresh[0] == fresh[2] == fresh[1] == fresh[3]
+        assert g.is_connected()
+        assert g.to_scipy_csr()[1, 2] == 2.5
+        assert g.num_edges == 3
+
     def test_copy_with_weights(self):
         g = triangle()
         doubled = g.copy_with_weights(lambda u, v, w: 2 * w)

@@ -1,0 +1,242 @@
+"""Parity and unit tests for compiled forwarding + the lockstep engine.
+
+The headline guarantee of the compiled-forwarding layer is *exact* parity:
+for every scheme in the library the lockstep engine must return the same
+walks (node for node), the same found/strategy/phase metadata, and the same
+stretch statistics as the scalar ``route()`` engine, on every graph family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import AGMParams
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.routing.forwarding import (LEG_TREE, MemoizedScalarProgram,
+                                      NextHopTable, TreeBank, run_lockstep)
+from repro.routing.messages import RouteResult
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.routing.simulator import RoutingSimulator
+
+
+FAMILIES = ("small_geometric", "small_grid", "small_cliques")
+
+
+def _assert_results_match(scalar, lockstep, pairs):
+    assert len(scalar) == len(lockstep) == len(pairs)
+    for (u, v), s, l in zip(pairs, scalar, lockstep):
+        assert l.path == s.path, f"paths differ for pair ({u}, {v})"
+        assert l.found == s.found
+        assert l.hops == s.hops
+        assert l.strategy == s.strategy
+        assert l.phases_used == s.phases_used
+        assert l.max_header_bits == s.max_header_bits
+        assert l.notes == s.notes
+        assert l.cost == pytest.approx(s.cost)
+
+
+def _pairs_for(sim, graph, seed):
+    pairs = sim.sample_pairs(120, seed=seed)
+    pairs += [(u, u) for u in range(0, graph.n, max(graph.n // 5, 1))]
+    return pairs
+
+
+class TestSchemeParity:
+    """Lockstep == scalar for every scheme on >= 3 graph families."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("scheme_name",
+                             [s for s in SCHEME_NAMES if s != "agm"])
+    def test_baseline_parity(self, request, family, scheme_name):
+        graph = request.getfixturevalue(family)
+        oracle = DistanceOracle(graph)
+        sim = RoutingSimulator(graph, oracle=oracle)
+        scheme = build_scheme(scheme_name, graph, k=2, seed=5, oracle=oracle)
+        pairs = _pairs_for(sim, graph, seed=3)
+        scalar = sim.route_batch(scheme, pairs, engine="scalar")
+        lockstep = sim.route_batch(scheme, pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, pairs)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_agm_parity(self, request, family):
+        graph = request.getfixturevalue(family)
+        oracle = DistanceOracle(graph)
+        sim = RoutingSimulator(graph, oracle=oracle)
+        scheme = build_scheme("agm", graph, k=2, seed=5, oracle=oracle,
+                              params=AGMParams.experiment())
+        pairs = _pairs_for(sim, graph, seed=4)
+        scalar = sim.route_batch(scheme, pairs, engine="scalar")
+        lockstep = sim.route_batch(scheme, pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, pairs)
+
+    def test_agm_k3_parity(self, small_er, er_oracle, agm_k3):
+        sim = RoutingSimulator(small_er, oracle=er_oracle)
+        pairs = _pairs_for(sim, small_er, seed=6)
+        scalar = sim.route_batch(agm_k3, pairs, engine="scalar")
+        lockstep = sim.route_batch(agm_k3, pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, pairs)
+
+    @pytest.mark.parametrize("scheme_name", ["agm", "thorup-zwick"])
+    def test_report_parity(self, small_geometric, geometric_oracle, scheme_name):
+        """Aggregate reports agree field for field (modulo the engine tag)."""
+        sim = RoutingSimulator(small_geometric, oracle=geometric_oracle)
+        kwargs = {"params": AGMParams.experiment()} if scheme_name == "agm" else {}
+        scheme = build_scheme(scheme_name, small_geometric, k=2, seed=9,
+                              oracle=geometric_oracle, **kwargs)
+        pairs = sim.sample_pairs(150, seed=11)
+        scalar = sim.evaluate(scheme, pairs=pairs, engine="scalar").as_dict()
+        lockstep = sim.evaluate(scheme, pairs=pairs, engine="lockstep").as_dict()
+        assert scalar.pop("engine") == "scalar"
+        assert lockstep.pop("engine") == "lockstep"
+        assert lockstep == scalar
+
+    def test_disconnected_graph_parity(self):
+        graph = WeightedGraph(9, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0),
+                                  (4, 5, 1.5), (6, 7, 1.0), (7, 8, 3.0)])
+        oracle = DistanceOracle(graph)
+        sim = RoutingSimulator(graph, oracle=oracle)
+        scheme = build_scheme("agm", graph, k=2, seed=2, oracle=oracle,
+                              params=AGMParams.experiment())
+        pairs = [(u, v) for u in range(graph.n) for v in range(graph.n)]
+        scalar = sim.route_batch(scheme, pairs, engine="scalar")
+        lockstep = sim.route_batch(scheme, pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, pairs)
+
+
+class _UncompiledScheme(RoutingSchemeInstance):
+    """A scheme without a compiled form: exercises the memoized fallback."""
+
+    scheme_name = "uncompiled"
+
+    def __init__(self, graph, inner):
+        super().__init__(graph)
+        self._inner = inner
+        self.route_calls = 0
+
+    def route(self, source, destination_name):
+        self.route_calls += 1
+        return self._inner.route(source, destination_name)
+
+    def header_bits(self):
+        return self._inner.header_bits()
+
+
+class TestMemoizedFallback:
+    def test_replay_matches_scalar_and_memoizes(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        inner = build_scheme("shortest-path", small_grid, oracle=oracle)
+        scheme = _UncompiledScheme(small_grid, inner)
+        assert isinstance(scheme.compiled_forwarding(), MemoizedScalarProgram)
+        pairs = sim.sample_pairs(40, seed=1)
+        pairs = pairs + pairs  # repeats must be served from the memo
+        lockstep = sim.route_batch(scheme, pairs, engine="lockstep")
+        assert scheme.route_calls == len(set(pairs))
+        scalar = [inner.route(u, small_grid.name_of(v)) for u, v in pairs]
+        _assert_results_match(scalar, lockstep, pairs)
+
+    def test_auto_prefers_scalar_for_fallback(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        inner = build_scheme("shortest-path", small_grid, oracle=oracle)
+        scheme = _UncompiledScheme(small_grid, inner)
+        assert sim.resolve_engine(scheme, "auto") == "scalar"
+        assert sim.resolve_engine(inner, "auto") == "lockstep"
+        report = sim.evaluate(inner, num_pairs=20, seed=2)
+        assert report.engine == "lockstep"
+
+    def test_unknown_engine_rejected(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        inner = build_scheme("shortest-path", small_grid, oracle=oracle)
+        with pytest.raises(Exception):
+            sim.evaluate(inner, num_pairs=5, seed=1, engine="warp-drive")
+
+
+class TestTreeBank:
+    def test_walks_follow_unique_tree_paths(self, small_geometric, geometric_spt):
+        tree = geometric_spt
+        bank = TreeBank(small_geometric.n)
+        tree_id = bank.add(tree)
+        bank.freeze()
+        rng = np.random.default_rng(5)
+        nodes = list(tree.nodes)
+        for _ in range(40):
+            u, v = rng.choice(nodes, size=2)
+            expected = tree.path(int(u), int(v))
+            slot = bank.slot_of(tree_id, int(u))
+            target = bank.slot_of(tree_id, int(v))
+            off = np.asarray([bank.offsets[tree_id]])
+            walked = [int(u)]
+            while slot != target:
+                slot = int(bank.step_toward(np.asarray([slot]),
+                                            np.asarray([target]), off)[0])
+                walked.append(int(bank.node_of_slot[slot]))
+            assert walked == expected
+
+    def test_membership_lookup(self, small_geometric, geometric_spt):
+        bank = TreeBank(small_geometric.n)
+        tree_id = bank.add(geometric_spt)
+        assert bank.add(geometric_spt) == tree_id  # idempotent registration
+        bank.freeze()
+        inside = next(iter(geometric_spt.nodes))
+        assert bank.slot_of(tree_id, inside) >= 0
+        assert bank.slots_of(np.asarray([tree_id + 7]),
+                             np.asarray([inside]))[0] == -1
+
+    def test_empty_bank(self):
+        bank = TreeBank(5).freeze()
+        assert bank.num_trees == 0 and bank.num_slots == 0
+        assert (bank.slots_of(np.asarray([0, 1]), np.asarray([2, 3])) == -1).all()
+
+
+class TestNextHopTable:
+    def test_lookup_hits_and_misses(self, tiny_path):
+        table = NextHopTable.from_name_dicts(
+            tiny_path,
+            [{tiny_path.name_of(1): 1}, {tiny_path.name_of(2): 2}, {}, {}, {}, {}])
+        hits = table.lookup(np.asarray([0, 1, 2]), np.asarray([1, 2, 3]))
+        assert hits.tolist() == [1, 2, -1]
+        assert table.lookup(np.asarray([0]), np.asarray([3]))[0] == -1
+
+
+class TestCompiledProgramShape:
+    def test_program_describe(self, agm_k2):
+        program = agm_k2.compiled_forwarding()
+        info = program.describe()
+        assert info["label"] == "agm"
+        assert info["trees"] == program.bank.num_trees > 0
+        assert program.bank.num_slots > 0
+
+    def test_program_is_cached(self, agm_k2):
+        assert agm_k2.compiled_forwarding() is agm_k2.compiled_forwarding()
+
+    def test_agm_plan_has_tree_legs(self, small_geometric, agm_k2):
+        program = agm_k2.compiled_forwarding()
+        sim = RoutingSimulator(small_geometric)
+        (u, v), = sim.sample_pairs(1, seed=13)
+        plan = program.plan(u, v)
+        assert plan.legs and all(leg[0] == LEG_TREE for leg in plan.legs)
+
+    def test_run_lockstep_without_materialize(self, small_geometric, agm_k2):
+        program = agm_k2.compiled_forwarding()
+        sim = RoutingSimulator(small_geometric)
+        pairs = sim.sample_pairs(30, seed=17)
+        sources = [u for u, _ in pairs]
+        destinations = [v for _, v in pairs]
+        fast = run_lockstep(program, sources, destinations, materialize=False)
+        assert fast.results is None
+        full = run_lockstep(program, sources, destinations, materialize=True)
+        assert fast.found.tolist() == [r.found for r in full.results]
+        assert np.array_equal(fast.hop_tails, full.hop_tails)
+
+
+class TestReportEngineField:
+    def test_as_dict_contains_engine(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        scheme = build_scheme("cowen", small_grid, seed=3, oracle=oracle)
+        report = sim.evaluate(scheme, num_pairs=25, seed=5, engine="lockstep")
+        assert report.as_dict()["engine"] == "lockstep"
+        assert report.engine == "lockstep"
