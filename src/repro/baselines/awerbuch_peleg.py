@@ -45,6 +45,7 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
         self.k = int(k)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
+        self._build_seed = seed  # kept for rebuild_spec / churn repair
         self._build(seed)
 
     # ------------------------------------------------------------------ #

@@ -50,6 +50,7 @@ class CowenRouting(RoutingSchemeInstance):
         super().__init__(graph)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
+        self._build_seed = seed  # kept for rebuild_spec / churn repair
         rng = make_rng(seed)
         n = graph.n
         if sample_probability is None:

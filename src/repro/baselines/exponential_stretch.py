@@ -53,6 +53,7 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         self.responsibility_factor = float(responsibility_factor)
+        self._build_seed = seed  # kept for rebuild_spec / churn repair
         self._build(seed)
 
     # ------------------------------------------------------------------ #

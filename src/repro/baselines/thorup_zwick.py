@@ -56,6 +56,7 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         self.k = int(k)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
+        self._build_seed = seed  # kept for rebuild_spec / churn repair
         rng = make_rng(seed)
         n = graph.n
 
@@ -75,43 +76,56 @@ class ThorupZwickRouting(RoutingSchemeInstance):
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _build(self) -> None:
-        graph, oracle = self.graph, self.oracle
-        n = graph.n
-        k = self.k
+    def _level_structure(self) -> Tuple[List[List[int]], np.ndarray]:
+        """Pivots per level and distance-to-level rows for the current graph.
 
-        # distance to each level and pivots, vectorized: one row block per
-        # level instead of an oracle.dist call per (node, member) pair
-        self.pivot: List[List[int]] = [[0] * n for _ in range(k)]
+        Vectorized: one row block per level instead of an oracle.dist call
+        per (node, member) pair.  Level 0 is all of V: every node is its own
+        pivot at distance 0 (edge weights are strictly positive), so no rows
+        are needed — this matters on the lazy backend, where fetching rows
+        for all n level-0 members would materialize the very O(n²) block the
+        backend avoids.
+        """
+        n, k, oracle = self.graph.n, self.k, self.oracle
+        pivot: List[List[int]] = [[0] * n for _ in range(k)]
         dist_to_level = np.full((k + 1, n), np.inf)
-        # level 0 is all of V: every node is its own pivot at distance 0
-        # (edge weights are strictly positive), so no rows are needed — this
-        # matters on the lazy backend, where fetching rows for all n level-0
-        # members would materialize the very O(n²) block the backend avoids
-        self.pivot[0] = list(range(n))
+        pivot[0] = list(range(n))
         dist_to_level[0] = 0.0
         for i in range(1, k):
             ids, dists = oracle.nearest_member(self.levels[i])
-            self.pivot[i] = ids.tolist()
+            pivot[i] = ids.tolist()
             dist_to_level[i] = dists
         # dist_to_level[k] stays +inf: the top clusters span everything
+        return pivot, dist_to_level
 
-        # cluster trees per landmark (only for landmarks that are someone's pivot,
-        # which is what routing can actually touch)
-        used: List[Tuple[int, int]] = sorted({(i, self.pivot[i][v])
+    def _iter_used_clusters(self, pivot: List[List[int]], dist_to_level: np.ndarray):
+        """Yield ``((i, w), root_row, members)`` for every routable cluster tree.
+
+        Only landmarks that are someone's pivot are yielded (those are what
+        routing can actually touch); root rows come one batched fetch per
+        chunk — rows() fills from the computed blocks directly, so this stays
+        efficient past the LRU capacity.
+        """
+        n, k, oracle = self.graph.n, self.k, self.oracle
+        used: List[Tuple[int, int]] = sorted({(i, pivot[i][v])
                                               for i in range(k) for v in range(n)})
-        self._trees: Dict[Tuple[int, int], CompactTreeRouting] = {}
         block = oracle.block_rows()
         for start in range(0, len(used), block):
             chunk = used[start:start + block]
-            # one batched row fetch per chunk; rows() fills from the computed
-            # blocks directly, so this stays efficient past the LRU capacity
             chunk_rows = oracle.rows([w for _, w in chunk])
             for (i, w), row_w in zip(chunk, chunk_rows):
                 members = [int(v) for v in
                            np.where(row_w < dist_to_level[i + 1] - 1e-12)[0]]
                 members.append(w)
-                self._build_cluster_tree(i, w, members)
+                yield (i, w), row_w, members
+
+    def _build(self) -> None:
+        n, k = self.graph.n, self.k
+        self.pivot, dist_to_level = self._level_structure()
+        self._trees: Dict[Tuple[int, int], CompactTreeRouting] = {}
+        self._members: Dict[Tuple[int, int], frozenset] = {}
+        for (i, w), _, members in self._iter_used_clusters(self.pivot, dist_to_level):
+            self._build_cluster_tree(i, w, members)
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("pivot_pointers", landmark_bits, count=k)
@@ -120,8 +134,61 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         tree = shortest_path_tree(self.graph, w, members=sorted(set(members)))
         routing = CompactTreeRouting(tree, k=max(self.k, 2))
         self._trees[(i, w)] = routing
+        self._members[(i, w)] = frozenset(members)
         for v in tree.nodes:
             self.tables[v].charge("cluster_tree_tables", routing.table_bits(v))
+
+    # ------------------------------------------------------------------ #
+    # dynamic maintenance
+    # ------------------------------------------------------------------ #
+    def maintain(self, delta=None):
+        """Incremental repair: rebuild only the cluster trees churn dirtied.
+
+        The level sampling is a property of the node set, so it survives any
+        edge churn; pivots and cluster memberships are recomputed from fresh
+        distance rows (vectorized, C-speed), and a cluster tree is rebuilt
+        only when its member set changed or the old tree stopped being a
+        shortest-path tree under the new weights (``tree_is_intact``).  A
+        reused tree keeps its ``CompactTreeRouting`` labels *and* its cached
+        forwarding slot arrays, so the recompiled :class:`TreeBank` re-slots
+        only the dirtied trees.
+        """
+        import time
+
+        from repro.dynamics.repair import RepairReport, full_rebuild, tree_is_intact
+        from repro.routing.table import TableCollection
+
+        if delta is None:
+            return full_rebuild(self, delta)
+        start = time.perf_counter()
+        n, k = self.graph.n, self.k
+        old_trees, old_members = self._trees, self._members
+        self.pivot, dist_to_level = self._level_structure()
+        self._trees, self._members = {}, {}
+        self.tables = TableCollection(n)
+        rebuilt = reused = 0
+        for (i, w), row_w, members in self._iter_used_clusters(self.pivot,
+                                                               dist_to_level):
+            member_set = frozenset(members)
+            old = old_trees.get((i, w))
+            if (old is not None and old_members.get((i, w)) == member_set
+                    and tree_is_intact(self.graph, old.tree, row_w)):
+                self._trees[(i, w)] = old
+                self._members[(i, w)] = member_set
+                for v in old.tree.nodes:
+                    self.tables[v].charge("cluster_tree_tables", old.table_bits(v))
+                reused += 1
+            else:
+                self._build_cluster_tree(i, w, members)
+                rebuilt += 1
+        landmark_bits = bits_for_id(max(n, 2))
+        for v in range(n):
+            self.tables[v].charge("pivot_pointers", landmark_bits, count=k)
+        self._compiled_program = None  # replan over the patched tree set
+        return RepairReport(
+            scheme=self.scheme_name, strategy="incremental",
+            seconds=time.perf_counter() - start,
+            rebuilt_trees=rebuilt, reused_trees=reused)
 
     # ------------------------------------------------------------------ #
     # labels

@@ -58,6 +58,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         self.k = int(k)
         self.params = params or AGMParams.paper()
         self.oracle = exact_distance_oracle(graph, oracle)
+        self._build_seed = seed  # kept for rebuild_spec / churn repair
 
         self.decomposition = NeighborhoodDecomposition(
             graph, self.k, oracle=self.oracle, params=self.params)

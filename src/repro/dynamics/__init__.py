@@ -1,0 +1,59 @@
+"""Dynamic-network churn subsystem: events, incremental repair, scenarios.
+
+Real compact-routing deployments face link failures, weight churn and node
+outages; this package opens that workload axis for the whole library.  It is
+layered between ``routing/`` and ``experiments/``:
+
+``events``
+    Seeded churn-event streams (edge failure / recovery, weight
+    perturbation, node detach) and :func:`apply_events`, which mutates a
+    :class:`~repro.graphs.graph.WeightedGraph` in place and returns the
+    :class:`~repro.dynamics.events.GraphDelta` that repair consumes.
+``repair``
+    :func:`full_rebuild` (the generic safe repair behind
+    ``RoutingSchemeInstance.maintain``), the :class:`RepairReport` cost
+    record, and shared helpers for the schemes' incremental paths.
+``scenario``
+    Named churn scenarios (flap-heavy, degradation, partition-and-heal)
+    composing any workload family, plus :func:`run_scenario_matrix`, which
+    drives every scheme through event epochs on both evaluation engines and
+    reports stretch drift, delivery under stale state, and repair cost.
+"""
+
+from repro.dynamics.events import (
+    ChurnEvent,
+    GraphDelta,
+    apply_events,
+    edge_failures,
+    edge_recoveries,
+    node_detachments,
+    random_event_batch,
+    weight_perturbations,
+)
+from repro.dynamics.repair import RepairReport, full_rebuild, tree_is_intact
+from repro.dynamics.scenario import (
+    SCENARIO_NAMES,
+    ChurnScenario,
+    make_scenario,
+    run_scenario_matrix,
+    stale_delivery_rate,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "GraphDelta",
+    "apply_events",
+    "edge_failures",
+    "edge_recoveries",
+    "weight_perturbations",
+    "node_detachments",
+    "random_event_batch",
+    "RepairReport",
+    "full_rebuild",
+    "tree_is_intact",
+    "ChurnScenario",
+    "SCENARIO_NAMES",
+    "make_scenario",
+    "run_scenario_matrix",
+    "stale_delivery_rate",
+]

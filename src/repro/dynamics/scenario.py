@@ -1,0 +1,345 @@
+"""Named churn scenarios and the scenario-matrix runner.
+
+A :class:`ChurnScenario` turns a live graph into one event batch per epoch
+(state such as which links are currently down lives on the scenario object,
+so flapping and heal phases compose correctly).  Three production-shaped
+scenarios ship by default:
+
+* ``flap-heavy`` — every epoch recovers the links downed last epoch and
+  fails a fresh random sample: constant link flapping.
+* ``degradation`` — every epoch multiplies the weight of a random edge
+  sample by a congestion factor: monotone quality decay, no topology change.
+* ``partition-and-heal`` — the first half of the run progressively fails the
+  boundary of a region until it partitions off, the second half re-adds the
+  links in reverse order.
+
+:func:`run_scenario_matrix` composes any workload family with any scenario:
+per epoch it applies the batch, measures every scheme's **delivery rate
+under stale state** (routing on the pre-repair tables over the mutated
+graph), repairs each scheme (``maintain(delta)`` — incremental where the
+scheme supports it — or forced :func:`~repro.dynamics.repair.full_rebuild`),
+then evaluates on **both engines** and cross-checks their reports field by
+field.  Rows report stretch drift against the pre-churn baseline, delivery
+rate, repair wall-time/strategy, and forwarding recompile time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dynamics.events import (
+    ChurnEvent,
+    EdgeChange,
+    apply_events,
+    edge_failures,
+    edge_recoveries,
+    weight_perturbations,
+)
+from repro.dynamics.repair import full_rebuild
+from repro.experiments.harness import ExperimentResult
+from repro.factory import build_scheme
+from repro.graphs.backends import BackendLike
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.routing.simulator import RoutingSimulator
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import require
+
+#: scenario names accepted by :func:`make_scenario`
+SCENARIO_NAMES = ("flap-heavy", "degradation", "partition-and-heal")
+
+
+class ChurnScenario:
+    """Stateful generator of one event batch per epoch.
+
+    The contract with the runner: ``events_for_epoch`` is called once per
+    epoch with the *live* (already-mutated) graph, and the returned batch is
+    applied exactly once, in order, before the next call.
+    """
+
+    name: str = "abstract"
+
+    def events_for_epoch(self, graph: WeightedGraph, epoch: int,
+                         num_epochs: int,
+                         rng: np.random.Generator) -> List[ChurnEvent]:
+        raise NotImplementedError
+
+
+class FlapHeavyScenario(ChurnScenario):
+    """Links flap: recover last epoch's failures, fail a fresh sample."""
+
+    name = "flap-heavy"
+
+    def __init__(self, rate: float = 0.03) -> None:
+        require(0 < rate <= 1, "flap rate must be in (0, 1]")
+        self.rate = float(rate)
+        self._down: List[EdgeChange] = []
+
+    def events_for_epoch(self, graph, epoch, num_epochs, rng):
+        events: List[ChurnEvent] = list(edge_recoveries(self._down))
+        count = max(1, int(round(self.rate * graph.num_edges)))
+        failures = edge_failures(graph, count, seed=rng)
+        # remember what goes down so the next epoch can flap it back up
+        self._down = [(e.u, e.v, graph.edge_weight(e.u, e.v), None)
+                      for e in failures]
+        events.extend(failures)
+        return events
+
+
+class DegradationScenario(ChurnScenario):
+    """Congestion creep: random edges get heavier every epoch."""
+
+    name = "degradation"
+
+    def __init__(self, rate: float = 0.05, low: float = 1.5,
+                 high: float = 4.0) -> None:
+        require(0 < rate <= 1, "degradation rate must be in (0, 1]")
+        self.rate = float(rate)
+        self.low = float(low)
+        self.high = float(high)
+
+    def events_for_epoch(self, graph, epoch, num_epochs, rng):
+        count = max(1, int(round(self.rate * graph.num_edges)))
+        return weight_perturbations(graph, count, seed=rng,
+                                    low=self.low, high=self.high)
+
+
+class PartitionAndHealScenario(ChurnScenario):
+    """Fail a region's boundary until it partitions off, then heal it.
+
+    The region is the ~``region_fraction``-of-n nodes closest (by hop BFS) to
+    a random seed node; its boundary edges are split across the first half of
+    the epochs (so the cut tightens progressively and finally separates) and
+    re-added in reverse order during the second half.
+    """
+
+    name = "partition-and-heal"
+
+    def __init__(self, region_fraction: float = 0.25) -> None:
+        require(0 < region_fraction < 1, "region_fraction must be in (0, 1)")
+        self.region_fraction = float(region_fraction)
+        self._schedule: Optional[List[List[Tuple[int, int, float]]]] = None
+
+    def _plan(self, graph: WeightedGraph, num_epochs: int,
+              rng: np.random.Generator) -> None:
+        target = max(2, int(round(self.region_fraction * graph.n)))
+        seed_node = int(rng.integers(0, graph.n))
+        region = {seed_node}
+        frontier = [seed_node]
+        while frontier and len(region) < target:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in graph.neighbor_indices(u):
+                    if v not in region and len(region) < target:
+                        region.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        boundary = [(u, v, w) for u, v, w in graph.edges()
+                    if (u in region) != (v in region)]
+        rng.shuffle(boundary)
+        fail_epochs = max(1, num_epochs // 2)
+        self._schedule = [[] for _ in range(fail_epochs)]
+        for index, edge in enumerate(boundary):
+            self._schedule[index % fail_epochs].append(edge)
+
+    def events_for_epoch(self, graph, epoch, num_epochs, rng):
+        if self._schedule is None:
+            self._plan(graph, num_epochs, rng)
+        fail_epochs = len(self._schedule)
+        if epoch <= fail_epochs:
+            return [ChurnEvent("fail", u, v)
+                    for u, v, _ in self._schedule[epoch - 1]]
+        heal_index = fail_epochs - 1 - (epoch - fail_epochs - 1) % fail_epochs
+        batch = self._schedule[heal_index]
+        self._schedule[heal_index] = []  # heal each chunk once
+        return [ChurnEvent("recover", u, v, weight=w) for u, v, w in batch]
+
+
+def make_scenario(name: str, **kwargs) -> ChurnScenario:
+    """Build a named scenario (``kwargs`` forwarded to its constructor)."""
+    key = str(name).lower()
+    if key == "flap-heavy":
+        return FlapHeavyScenario(**kwargs)
+    if key == "degradation":
+        return DegradationScenario(**kwargs)
+    if key == "partition-and-heal":
+        return PartitionAndHealScenario(**kwargs)
+    raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIO_NAMES}")
+
+
+# --------------------------------------------------------------------------- #
+# stale-state evaluation
+# --------------------------------------------------------------------------- #
+def stale_delivery_rate(scheme: RoutingSchemeInstance, graph: WeightedGraph,
+                        pairs: Sequence[Tuple[int, int]]) -> float:
+    """Fraction of pairs a *stale* scheme still delivers on the mutated graph.
+
+    Models packets in flight between the failure and the repair: the scheme
+    routes with pre-churn tables, and a packet is delivered only if the walk
+    it produces uses only edges that still exist and ends at the destination.
+    Exceptions raised by routing over missing edges count as drops (the
+    packet died at the failed link), not as errors.
+    """
+    if not pairs:
+        return 1.0
+    delivered = 0
+    for u, v in pairs:
+        try:
+            result = scheme.route(u, graph.name_at(v))
+        except Exception:
+            continue  # routing walked into a failed link: packet dropped
+        if not result.found or not result.path:
+            continue
+        if result.path[0] != u or result.path[-1] != v:
+            continue
+        if all(a == b or graph.has_edge(a, b)
+               for a, b in zip(result.path, result.path[1:])):
+            delivered += 1
+    return delivered / len(pairs)
+
+
+# --------------------------------------------------------------------------- #
+# the scenario-matrix runner
+# --------------------------------------------------------------------------- #
+ScenarioLike = Union[str, ChurnScenario]
+
+
+def run_scenario_matrix(
+    schemes: Sequence[str],
+    graph_factory: Callable[[], WeightedGraph],
+    scenarios: Sequence[ScenarioLike] = SCENARIO_NAMES,
+    epochs: int = 5,
+    num_pairs: int = 150,
+    k: int = 2,
+    seed: SeedLike = 0,
+    backend: BackendLike = None,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    repair: str = "maintain",
+) -> ExperimentResult:
+    """Drive every scheme through every churn scenario, epoch by epoch.
+
+    Parameters
+    ----------
+    schemes:
+        Scheme names (see :data:`repro.factory.SCHEME_NAMES`).
+    graph_factory:
+        Zero-arg callable producing a fresh workload graph; called once per
+        scenario because churn mutates the graph in place (see
+        :func:`repro.experiments.workloads.workload_factory`).
+    scenarios:
+        Scenario names or pre-built :class:`ChurnScenario` objects.  Note a
+        scenario object is stateful — pass names (or fresh objects) when
+        running several scenarios.
+    epochs:
+        Number of event batches per scenario (epoch 0 is the pre-churn
+        baseline row).
+    repair:
+        ``"maintain"`` uses each scheme's own (possibly incremental) repair;
+        ``"full"`` forces the generic full rebuild — running both modes on
+        the same seed is how the E15 bench prices incremental repair.
+
+    Returns an :class:`ExperimentResult` with one row per
+    (scenario, epoch, scheme): delivery rate under stale state, post-repair
+    stretch (both engines, cross-checked field by field), stretch drift
+    against the epoch-0 baseline, repair wall-time/strategy, and the
+    forwarding recompile time after repair.
+    """
+    require(repair in ("maintain", "full"),
+            f"repair must be 'maintain' or 'full', got {repair!r}")
+    result = ExperimentResult(name="scenario-matrix")
+    result.metadata.update({
+        "epochs": int(epochs), "num_pairs": int(num_pairs), "k": int(k),
+        "repair": repair,
+        "scenarios": [s if isinstance(s, str) else s.name for s in scenarios],
+    })
+    scheme_kwargs = scheme_kwargs or {}
+
+    for s_index, scenario_like in enumerate(scenarios):
+        scenario = make_scenario(scenario_like) \
+            if isinstance(scenario_like, str) else scenario_like
+        graph = graph_factory()
+        oracle = DistanceOracle(graph, backend=backend)
+        simulator = RoutingSimulator(graph, oracle=oracle)
+        rng = derive_rng(seed, 101, s_index)
+        pair_rng = derive_rng(seed, 202, s_index)
+        # an *integer* build seed keeps a forced full rebuild bit-identical
+        # to the original construction (generators would replay differently)
+        build_seed = int(derive_rng(seed, 7, s_index).integers(0, 2**31 - 1))
+
+        built: Dict[str, RoutingSchemeInstance] = {}
+        baseline: Dict[str, float] = {}
+        pairs = simulator.sample_pairs(num_pairs, seed=pair_rng,
+                                       on_shortfall="warn")
+        for name in schemes:
+            start = time.perf_counter()
+            built[name] = build_scheme(name, graph, k=k, seed=build_seed,
+                                       oracle=oracle,
+                                       **scheme_kwargs.get(name, {}))
+            build_seconds = time.perf_counter() - start
+            row = _evaluate_epoch(simulator, built[name], pairs)
+            baseline[name] = row["avg_stretch"]
+            result.add_row(scenario=scenario.name, epoch=0, scheme=name,
+                           events=0, stale_delivery=1.0, stretch_drift=0.0,
+                           repair_seconds=0.0, repair_strategy="build",
+                           build_seconds=build_seconds, rebuilt_trees=0,
+                           reused_trees=0, patched_entries=0,
+                           dirty_destinations=0, recompile_seconds=0.0, **row)
+
+        for epoch in range(1, int(epochs) + 1):
+            events = scenario.events_for_epoch(graph, epoch, int(epochs), rng)
+            delta = apply_events(graph, events)
+            pairs = simulator.sample_pairs(num_pairs, seed=pair_rng,
+                                           on_shortfall="warn")
+            for name in schemes:
+                scheme = built[name]
+                stale = stale_delivery_rate(scheme, graph, pairs)
+                if repair == "full":
+                    report = full_rebuild(scheme, delta)
+                else:
+                    report = scheme.maintain(delta)
+                start = time.perf_counter()
+                scheme.compiled_forwarding()
+                recompile_seconds = time.perf_counter() - start
+                row = _evaluate_epoch(simulator, scheme, pairs)
+                row["stretch_drift"] = row["avg_stretch"] - baseline[name]
+                result.add_row(scenario=scenario.name, epoch=epoch, scheme=name,
+                               events=len(events), stale_delivery=stale,
+                               repair_seconds=report.seconds,
+                               repair_strategy=report.strategy,
+                               build_seconds=0.0,
+                               rebuilt_trees=report.rebuilt_trees,
+                               reused_trees=report.reused_trees,
+                               patched_entries=report.patched_entries,
+                               dirty_destinations=report.dirty_destinations,
+                               recompile_seconds=recompile_seconds, **row)
+    return result
+
+
+def _evaluate_epoch(simulator: RoutingSimulator, scheme: RoutingSchemeInstance,
+                    pairs: Sequence[Tuple[int, int]]) -> Dict[str, object]:
+    """Evaluate one scheme on both engines; cross-check and flatten to a row."""
+    start = time.perf_counter()
+    scalar = simulator.evaluate_batch(scheme, pairs, engine="scalar")
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    lockstep = simulator.evaluate_batch(scheme, pairs, engine="lockstep")
+    lockstep_seconds = time.perf_counter() - start
+    a, b = scalar.as_dict(), lockstep.as_dict()
+    a.pop("engine")
+    b.pop("engine")
+    delivered = scalar.num_pairs - scalar.failures
+    return {
+        "pairs": scalar.num_pairs,
+        "delivery": delivered / scalar.num_pairs if scalar.num_pairs else 1.0,
+        "avg_stretch": scalar.avg_stretch,
+        "max_stretch": scalar.max_stretch,
+        "p95_stretch": scalar.p95_stretch,
+        "failures": scalar.failures,
+        "parity": a == b,
+        "scalar_seconds": scalar_seconds,
+        "lockstep_seconds": lockstep_seconds,
+    }

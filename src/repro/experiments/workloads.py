@@ -61,6 +61,18 @@ def make_workload(family: str, n: int, seed: Optional[int] = None) -> WeightedGr
     return _BUILDERS[family](n, seed)
 
 
+def workload_factory(family: str, n: int,
+                     seed: Optional[int] = None) -> Callable[[], WeightedGraph]:
+    """A zero-arg callable producing a fresh workload graph on every call.
+
+    Churn runs (:func:`repro.dynamics.scenario.run_scenario_matrix`, the E15
+    bench) mutate their graph in place, so each scenario needs its own
+    instance; this is the composition point between the workload families and
+    the dynamic scenarios.
+    """
+    return lambda: make_workload(family, n, seed=seed)
+
+
 def standard_suite(quick: bool = True) -> List[WorkloadSpec]:
     """The graph suite used by experiments E1, E2 and E4."""
     specs = [

@@ -84,6 +84,30 @@ class DistanceBackend:
         self.graph = graph
         self.n = graph.n
         self._stats: Optional[DistanceStats] = None
+        self._graph_version = graph.version
+
+    # -- mutation tracking ----------------------------------------------- #
+    def invalidate(self) -> None:
+        """Drop every cached distance; the next query recomputes from the graph.
+
+        Subclasses extend this to clear their stores.  Called automatically
+        (via :meth:`_sync`) when the graph's mutation version has moved, and
+        available as an explicit pass-through on :class:`DistanceOracle` for
+        callers that mutate through a side channel.
+        """
+        self._stats = None
+        self._graph_version = self.graph.version
+
+    def _sync(self) -> None:
+        """Invalidate if the graph mutated since the last query.
+
+        Every public query entry point calls this first, so a live backend
+        never serves rows computed against a stale topology.  The check is a
+        single integer comparison; note that concurrent mutation and querying
+        from different threads is not supported (mutate, then evaluate).
+        """
+        if self._graph_version != self.graph.version:
+            self.invalidate()
 
     # -- primitives ----------------------------------------------------- #
     def row(self, u: int) -> np.ndarray:
@@ -123,6 +147,7 @@ class DistanceBackend:
         raise NotImplementedError
 
     def stats(self) -> DistanceStats:
+        self._sync()
         if self._stats is None:
             self._stats = self._compute_stats()
         return self._stats
@@ -143,18 +168,38 @@ class DenseAPSPBackend(DistanceBackend):
 
     def __init__(self, graph: WeightedGraph, matrix: Optional[np.ndarray] = None) -> None:
         super().__init__(graph)
-        if matrix is None:
+        self._matrix: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=float)
+            require(matrix.shape == (graph.n, graph.n),
+                    "distance matrix shape does not match the graph")
+            self._matrix = matrix
+        self._ensure()
+
+    def _ensure(self) -> None:
+        if self._matrix is None:
             # local import: shortest_paths imports this module at load time
             from repro.graphs.shortest_paths import all_pairs_distances
 
-            matrix = all_pairs_distances(graph)
-        self.matrix = np.asarray(matrix, dtype=float)
-        require(self.matrix.shape == (graph.n, graph.n),
-                "distance matrix shape does not match the graph")
-        # argsort is stable for equal keys, so sorting by distance with node
-        # index as the implicit secondary key realizes the lexicographic
-        # tie-break of Definition N(u, m, Z).
-        self._order = np.argsort(self.matrix, axis=1, kind="stable")
+            self._matrix = all_pairs_distances(self.graph)
+        if self._order is None:
+            # argsort is stable for equal keys, so sorting by distance with
+            # node index as the implicit secondary key realizes the
+            # lexicographic tie-break of Definition N(u, m, Z).
+            self._order = np.argsort(self._matrix, axis=1, kind="stable")
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        self._matrix = None
+        self._order = None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full APSP matrix, recomputed lazily after graph mutation."""
+        self._sync()
+        self._ensure()
+        return self._matrix
 
     def row(self, u: int) -> np.ndarray:
         return self.matrix[u]
@@ -163,6 +208,8 @@ class DenseAPSPBackend(DistanceBackend):
         return self.matrix[np.asarray(list(sources), dtype=np.int64)]
 
     def order(self, u: int) -> np.ndarray:
+        self._sync()
+        self._ensure()
         return self._order[u]
 
     def dist(self, u: int, v: int) -> float:
@@ -177,7 +224,8 @@ class DenseAPSPBackend(DistanceBackend):
         return stats
 
     def nbytes(self) -> int:
-        return int(self.matrix.nbytes + self._order.nbytes)
+        self._ensure()
+        return int(self._matrix.nbytes + self._order.nbytes)
 
 
 class LazyDijkstraBackend(DistanceBackend):
@@ -207,6 +255,12 @@ class LazyDijkstraBackend(DistanceBackend):
         self.hits = 0
         self.misses = 0
 
+    def invalidate(self) -> None:
+        with self._lock:
+            super().invalidate()
+            self._rows.clear()
+            self._orders.clear()
+
     # -- cache plumbing -------------------------------------------------- #
     def _insert(self, u: int, row: np.ndarray) -> None:
         with self._lock:
@@ -231,6 +285,7 @@ class LazyDijkstraBackend(DistanceBackend):
 
     def row(self, u: int) -> np.ndarray:
         check_index(u, self.n, "u")
+        self._sync()
         cached = self._cached_row(u)
         if cached is not None:
             return cached
@@ -240,6 +295,7 @@ class LazyDijkstraBackend(DistanceBackend):
         return row
 
     def rows(self, sources: Sequence[int]) -> np.ndarray:
+        self._sync()
         sources = [int(s) for s in sources]
         out = np.empty((len(sources), self.n), dtype=float)
         positions: Dict[int, List[int]] = {}
@@ -279,6 +335,7 @@ class LazyDijkstraBackend(DistanceBackend):
         actually retain; later consumers fall back to the grouped ``rows``
         path for the remainder.
         """
+        self._sync()
         with self._lock:
             missing = sorted({int(s) for s in sources if int(s) not in self._rows})
         missing = missing[:self.cache_rows]
@@ -295,6 +352,7 @@ class LazyDijkstraBackend(DistanceBackend):
         return min(self.chunk_rows, self.cache_rows)
 
     def order(self, u: int) -> np.ndarray:
+        self._sync()
         with self._lock:
             cached = self._orders.get(u)
             if cached is not None:
@@ -371,8 +429,19 @@ class LandmarkApproxBackend(DistanceBackend):
         # several worker threads, so LRU read-modify must be atomic
         self._lock = threading.RLock()
 
+    def invalidate(self) -> None:
+        """Recompute the landmark rows (same landmark set) and drop the cache."""
+        from repro.graphs.shortest_paths import multi_source_distances
+
+        with self._lock:
+            super().invalidate()
+            self._landmark_rows = np.atleast_2d(
+                multi_source_distances(self.graph, self.landmarks))
+            self._cache.clear()
+
     def row(self, u: int) -> np.ndarray:
         check_index(u, self.n, "u")
+        self._sync()
         with self._lock:
             cached = self._cache.get(u)
             if cached is not None:

@@ -55,6 +55,7 @@ class WeightedGraph:
         "_num_edges",
         "_min_weight",
         "_max_weight",
+        "_version",
     )
 
     def __init__(
@@ -90,6 +91,7 @@ class WeightedGraph:
         self._names_view = tuple(self._names)
         self._name_to_index = {name: i for i, name in enumerate(self._names)}
         self._component_ids: Optional[np.ndarray] = None
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -109,18 +111,97 @@ class WeightedGraph:
         self._min_weight = min(self._min_weight, w)
         self._max_weight = max(self._max_weight, w)
 
-    def add_edge(self, u: int, v: int, w: float) -> None:
-        """Insert a new edge (or relax a parallel one), invalidating caches.
+    def _invalidate_caches(self) -> None:
+        """Drop every derived view and advance the mutation version.
 
-        The CSR view and the cached component ids are dropped and rebuilt
-        lazily on next access, so connectivity queries (and the pair sampler
-        built on them) stay correct after mutation.  Distance oracles and
-        backends constructed earlier do not observe the mutation — rebuild
-        them after editing the graph.
+        The CSR view and the cached component ids are rebuilt lazily on next
+        access, so connectivity queries (and the pair sampler built on them)
+        stay correct after mutation.  Distance backends watch :attr:`version`
+        and drop their own row caches on the next query, so a live
+        ``DistanceOracle`` self-heals too.
         """
-        self._add_edge(int(u), int(v), float(w))
         self._csr = None
         self._component_ids = None
+        self._version += 1
+
+    def _recompute_weight_range(self) -> None:
+        self._min_weight = float("inf")
+        self._max_weight = 0.0
+        for _, _, w in self.edges():
+            self._min_weight = min(self._min_weight, w)
+            self._max_weight = max(self._max_weight, w)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumps on every topology/weight change."""
+        return self._version
+
+    def add_edge(self, u: int, v: int, w: float) -> None:
+        """Insert a new edge (or relax a parallel one), invalidating caches."""
+        self._add_edge(int(u), int(v), float(w))
+        self._invalidate_caches()
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Delete the edge ``{u, v}`` and return its weight (raises if absent)."""
+        u, v = int(u), int(v)
+        w = self.edge_weight(u, v)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        if w <= self._min_weight or w >= self._max_weight:
+            self._recompute_weight_range()
+        self._invalidate_caches()
+        return w
+
+    def set_edge_weight(self, u: int, v: int, w: float) -> float:
+        """Overwrite the weight of an existing edge; returns the old weight.
+
+        Unlike :meth:`add_edge` this does not collapse to the minimum — weight
+        *increases* (congestion, degradation events) are applied verbatim.
+        """
+        u, v = int(u), int(v)
+        w = float(w)
+        old = self.edge_weight(u, v)
+        require(w > 0 and np.isfinite(w),
+                f"edge weight must be positive and finite, got {w}")
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+        if old <= self._min_weight or old >= self._max_weight:
+            self._recompute_weight_range()
+        else:
+            self._min_weight = min(self._min_weight, w)
+            self._max_weight = max(self._max_weight, w)
+        self._invalidate_caches()
+        return old
+
+    def detach_node(self, u: int) -> List[Tuple[int, float]]:
+        """Remove every edge incident to ``u`` (node failure).
+
+        The node itself stays in the graph (as an isolated node keeping its
+        name and index); the removed ``(neighbor, weight)`` pairs are returned
+        so a later recovery can re-attach them.
+        """
+        check_index(u, self.n, "u")
+        removed = sorted(self._adj[u].items())
+        for v, _ in removed:
+            del self._adj[v][u]
+        self._adj[u].clear()
+        self._num_edges -= len(removed)
+        if removed:
+            self._recompute_weight_range()
+        self._invalidate_caches()
+        return removed
+
+    def apply_events(self, events: Iterable[object]) -> List[object]:
+        """Apply a batch of mutation events in order; returns their records.
+
+        Each event must expose ``apply(graph)`` (duck-typed, so this module
+        stays below :mod:`repro.dynamics` in the layering) and is applied
+        exactly once; whatever record ``apply`` returns is collected.  See
+        :func:`repro.dynamics.events.apply_events` for the high-level wrapper
+        that packages the records into a ``GraphDelta`` for scheme repair.
+        """
+        return [event.apply(self) for event in events]
 
     @classmethod
     def from_networkx(cls, g, weight: str = "weight",

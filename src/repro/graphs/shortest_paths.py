@@ -256,6 +256,16 @@ class DistanceOracle:
         """Resident memory of the distance store (approximate)."""
         return self.backend.nbytes()
 
+    def invalidate(self) -> None:
+        """Explicitly drop cached distances (pass-through to the backend).
+
+        Normally unnecessary: backends watch ``graph.version`` and self-heal
+        on the next query after any mutation through the ``WeightedGraph``
+        API.  This hook exists for callers that mutate the topology through a
+        side channel the version counter cannot see.
+        """
+        self.backend.invalidate()
+
     # -- plain distance queries ---------------------------------------- #
     def dist(self, u: int, v: int) -> float:
         """Shortest-path distance between ``u`` and ``v``."""

@@ -125,6 +125,43 @@ class PacketPlan:
         self.header_override = header_override
 
 
+class _TreeSlots:
+    """Per-tree compiled slot arrays, cached on the :class:`Tree` object.
+
+    A tree's local compilation (one Python pass over its nodes) is the only
+    per-node Python work in :meth:`TreeBank.freeze`; caching it on the tree
+    means a bank recompiled after churn repair re-slots **only the dirtied
+    trees** — unchanged ``Tree`` objects contribute cached arrays and the
+    global assembly is pure vectorized offset arithmetic.
+    """
+
+    __slots__ = ("size", "node_of_slot", "dfs_out", "parent_local")
+
+    def __init__(self, tree: Tree) -> None:
+        size = tree.size
+        self.size = size
+        self.node_of_slot = np.empty(size, dtype=np.int64)
+        self.dfs_out = np.empty(size, dtype=np.int64)
+        self.parent_local = np.full(size, -1, dtype=np.int64)
+        dfs_in = tree.dfs_in
+        for v in tree.nodes:
+            slot = dfs_in[v]
+            self.node_of_slot[slot] = v
+            self.dfs_out[slot] = tree.dfs_out[v]
+            parent = tree.parent.get(v)
+            if parent is not None:
+                self.parent_local[slot] = dfs_in[parent]
+
+    @classmethod
+    def of(cls, tree: Tree) -> "_TreeSlots":
+        """Cached local compilation of ``tree`` (computed once per tree object)."""
+        cached = getattr(tree, "_forwarding_slots", None)
+        if cached is None or cached.size != tree.size:
+            cached = cls(tree)
+            tree._forwarding_slots = cached
+        return cached
+
+
 class TreeBank:
     """All trees of one scheme as flat structure-of-arrays slot tables.
 
@@ -162,7 +199,13 @@ class TreeBank:
 
     # -- compilation ----------------------------------------------------- #
     def freeze(self) -> "TreeBank":
-        """Compile the registered trees into flat arrays (idempotent)."""
+        """Compile the registered trees into flat arrays (idempotent).
+
+        Per-tree slot arrays come from the :class:`_TreeSlots` cache, so only
+        trees never compiled before (or rebuilt by churn repair) pay the
+        Python pass over their nodes; the global assembly below is vectorized
+        offset arithmetic plus two sorts.
+        """
         if self._frozen:
             return self
         self._frozen = True
@@ -171,41 +214,46 @@ class TreeBank:
         self.offsets = np.concatenate(([0], np.cumsum(sizes)[:-1])) if self._trees \
             else np.zeros(0, dtype=np.int64)
         total = int(sizes.sum()) if self._trees else 0
-
-        self.node_of_slot = np.full(total, -1, dtype=np.int64)
-        self.dfs_out = np.full(total, -1, dtype=np.int64)      # tree-local
-        self.parent_slot = np.full(total, -1, dtype=np.int64)
-
-        child_keys: List[int] = []
-        child_slots: List[int] = []
-        member_keys: List[int] = []
-        member_slots: List[int] = []
         self._stride = int(sizes.max()) + 1 if self._trees else 1
+
+        node_parts: List[np.ndarray] = []
+        dfs_out_parts: List[np.ndarray] = []
+        parent_parts: List[np.ndarray] = []
+        child_key_parts: List[np.ndarray] = []
+        child_slot_parts: List[np.ndarray] = []
+        member_key_parts: List[np.ndarray] = []
+        member_slot_parts: List[np.ndarray] = []
         for tree_id, tree in enumerate(self._trees):
             off = int(self.offsets[tree_id])
-            dfs_in = tree.dfs_in
-            for v in tree.nodes:
-                slot = off + dfs_in[v]
-                self.node_of_slot[slot] = v
-                self.dfs_out[slot] = tree.dfs_out[v]
-                member_keys.append(tree_id * self.n + v)
-                member_slots.append(slot)
-                parent = tree.parent.get(v)
-                if parent is not None:
-                    parent_slot = off + dfs_in[parent]
-                    self.parent_slot[slot] = parent_slot
-                    child_keys.append(parent_slot * self._stride + dfs_in[v])
-                    child_slots.append(slot)
+            slots = _TreeSlots.of(tree)
+            node_parts.append(slots.node_of_slot)
+            dfs_out_parts.append(slots.dfs_out)
+            parent_parts.append(np.where(slots.parent_local >= 0,
+                                         slots.parent_local + off, -1))
+            children = np.flatnonzero(slots.parent_local >= 0)
+            child_key_parts.append(
+                (slots.parent_local[children] + off) * self._stride + children)
+            child_slot_parts.append(children + off)
+            member_key_parts.append(tree_id * self.n + slots.node_of_slot)
+            member_slot_parts.append(np.arange(off, off + slots.size, dtype=np.int64))
 
-        keys = np.asarray(child_keys, dtype=np.int64)
+        def cat(parts: List[np.ndarray]) -> np.ndarray:
+            return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+        self.node_of_slot = cat(node_parts)
+        self.dfs_out = cat(dfs_out_parts)                      # tree-local
+        self.parent_slot = cat(parent_parts)
+        require(self.node_of_slot.size == total, "tree slot assembly mismatch")
+
+        keys = cat(child_key_parts)
         order = np.argsort(keys, kind="stable")
         self._child_keys = keys[order]
-        self._child_slots = np.asarray(child_slots, dtype=np.int64)[order]
+        self._child_slots = cat(child_slot_parts)[order]
 
-        mkeys = np.asarray(member_keys, dtype=np.int64)
+        mkeys = cat(member_key_parts)
         morder = np.argsort(mkeys, kind="stable")
         self._member_keys = mkeys[morder]
-        self._member_slots = np.asarray(member_slots, dtype=np.int64)[morder]
+        self._member_slots = cat(member_slot_parts)[morder]
         return self
 
     # -- queries ---------------------------------------------------------- #
@@ -294,6 +342,46 @@ class NextHopTable:
     @property
     def num_entries(self) -> int:
         return int(self._keys.size)
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Sorted ``node * n + destination`` keys (read-only; do not mutate)."""
+        return self._keys
+
+    @property
+    def next_hops(self) -> np.ndarray:
+        """Next hops parallel to :attr:`keys` (read-only; do not mutate)."""
+        return self._next
+
+    def replace_destinations(self, destinations: Sequence[int],
+                             keys: np.ndarray, next_hops: np.ndarray) -> int:
+        """Swap out every row whose destination is in ``destinations``.
+
+        All existing entries pointing at those destinations are dropped and
+        the replacement ``(key, next_hop)`` rows are merged in, preserving the
+        sorted-key invariant.  This is the churn-repair primitive: a scheme
+        whose incremental ``maintain()`` recomputed a few destination columns
+        patches them here instead of recompiling the whole table, so the
+        compiled forwarding program survives the event batch.  Returns the
+        number of rows inserted.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        next_hops = np.asarray(next_hops, dtype=np.int64)
+        require(keys.shape == next_hops.shape,
+                "replacement keys and next hops must have equal length")
+        dirty = np.zeros(self.n, dtype=bool)
+        dirty[np.asarray(list(destinations), dtype=np.int64)] = True
+        if keys.size:
+            require(bool(dirty[keys % self.n].all()),
+                    "replacement rows must target the replaced destinations")
+        keep = ~dirty[self._keys % self.n] if self._keys.size \
+            else np.zeros(0, dtype=bool)
+        merged_keys = np.concatenate([self._keys[keep], keys])
+        merged_next = np.concatenate([self._next[keep], next_hops])
+        order = np.argsort(merged_keys, kind="stable")
+        self._keys = merged_keys[order]
+        self._next = merged_next[order]
+        return int(keys.size)
 
     def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
         """Next hop of each ``(node, destination)`` pair; ``-1`` when absent."""

@@ -23,6 +23,8 @@ from repro.routing.messages import RouteResult
 from repro.routing.table import TableCollection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.dynamics.events import GraphDelta
+    from repro.dynamics.repair import RepairReport
     from repro.routing.forwarding import ForwardingProgram
 
 
@@ -77,6 +79,45 @@ class RoutingSchemeInstance(abc.ABC):
                 program = MemoizedScalarProgram(self)
             self._compiled_program = program
         return program
+
+    # -- dynamic maintenance ------------------------------------------------- #
+    def maintain(self, delta: Optional["GraphDelta"] = None) -> "RepairReport":
+        """Repair this instance after the underlying graph mutated.
+
+        Called once per event batch (after
+        :func:`repro.dynamics.events.apply_events` edited ``self.graph`` in
+        place).  The default is the generic safe path — a full rebuild of the
+        scheme on the mutated graph through
+        :func:`repro.dynamics.repair.full_rebuild`, which re-runs this
+        instance's construction (same parameters and seed, via
+        :meth:`rebuild_spec`) and adopts the fresh state in place.  Schemes
+        whose structure admits cheaper repair (patching ``NextHopTable``
+        columns, re-slotting only dirtied trees) override this and fall back
+        to the default only when ``delta`` is ``None``.  Always returns a
+        :class:`repro.dynamics.repair.RepairReport` with the wall-time and
+        strategy so churn runners can report repair cost per event batch.
+        """
+        from repro.dynamics.repair import full_rebuild
+
+        return full_rebuild(self, delta)
+
+    def rebuild_spec(self) -> Dict[str, object]:
+        """Constructor kwargs that recreate this instance on its (mutated) graph.
+
+        Collected from the attributes every scheme in the library stores at
+        construction time; :func:`repro.dynamics.repair.full_rebuild` filters
+        them against the concrete constructor's signature, so schemes only
+        need to keep their parameters on ``self`` (plus ``_build_seed`` for
+        reproducible resampling) for the generic rebuild to be faithful.
+        """
+        spec: Dict[str, object] = {}
+        for attr in ("k", "params", "name_bits", "sample_probability",
+                     "responsibility_factor", "oracle"):
+            if hasattr(self, attr):
+                spec[attr] = getattr(self, attr)
+        if hasattr(self, "_build_seed"):
+            spec["seed"] = self._build_seed
+        return spec
 
     # -- space accounting ---------------------------------------------------- #
     def table_bits(self, node: int) -> int:

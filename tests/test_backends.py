@@ -201,6 +201,94 @@ class TestLandmarkApproxBackend:
         assert not np.isfinite(backend.dist(0, 3))  # truly disconnected
 
 
+class TestMutationInvalidation:
+    """Regression: live backends must not serve stale rows after graph mutation.
+
+    ``add_edge`` always invalidated the graph's own CSR/component caches, but
+    a live ``LazyDijkstraBackend`` kept its LRU rows.  Backends now watch
+    ``graph.version`` and invalidate themselves on the next query.
+    """
+
+    def test_lazy_backend_drops_stale_rows_after_add_edge(self):
+        graph = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        backend = LazyDijkstraBackend(graph, cache_rows=8)
+        oracle = DistanceOracle(graph, backend=backend)
+        assert oracle.dist(0, 3) == pytest.approx(3.0)   # row 0 now cached
+        graph.add_edge(0, 3, 0.5)
+        assert oracle.dist(0, 3) == pytest.approx(0.5)
+        assert oracle.dist(0, 2) == pytest.approx(1.5)   # via the new shortcut
+
+    def test_lazy_backend_tracks_removals_and_reweights(self):
+        graph = erdos_renyi_graph(24, seed=371)
+        backend = LazyDijkstraBackend(graph, cache_rows=32)
+        oracle = DistanceOracle(graph, backend=backend)
+        oracle.prefetch(range(graph.n))
+        u, v, w = next(graph.edges())
+        graph.set_edge_weight(u, v, w * 10)
+        fresh = DistanceOracle(graph, backend="dense")
+        for s in range(graph.n):
+            np.testing.assert_allclose(oracle.row(s), fresh.row(s), atol=1e-9)
+            np.testing.assert_array_equal(oracle.nodes_by_distance(s),
+                                          fresh.nodes_by_distance(s))
+        graph.remove_edge(u, v)
+        fresh = DistanceOracle(graph, backend="dense")
+        np.testing.assert_allclose(oracle.row(u), fresh.row(u), atol=1e-9)
+
+    def test_dense_backend_recomputes_matrix_and_stats(self):
+        graph = WeightedGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        oracle = DistanceOracle(graph, backend="dense")
+        assert oracle.diameter() == pytest.approx(2.0)
+        graph.add_edge(0, 2, 0.25)
+        assert oracle.dist(0, 2) == pytest.approx(0.25)
+        assert oracle.diameter() == pytest.approx(1.0)
+        graph.detach_node(2)
+        assert oracle.dist(0, 2) == float("inf")
+
+    def test_landmark_backend_reestimates_after_mutation(self):
+        graph = random_geometric_graph(30, seed=372)
+        oracle = DistanceOracle(graph,
+                                backend=LandmarkApproxBackend(graph, num_landmarks=5))
+        u, v, w = next(graph.edges())
+        graph.set_edge_weight(u, v, w * 5)
+        exact = DistanceOracle(graph, backend="dense")
+        for s in range(graph.n):
+            true_row = exact.row(s)
+            est_row = oracle.row(s)
+            mask = np.isfinite(true_row)
+            assert np.all(est_row[mask] >= true_row[mask] - 1e-9)
+
+    def test_explicit_invalidate_passthrough(self):
+        graph = erdos_renyi_graph(16, seed=373)
+        backend = LazyDijkstraBackend(graph, cache_rows=8)
+        oracle = DistanceOracle(graph, backend=backend)
+        oracle.prefetch(range(8))
+        assert len(backend._rows) > 0
+        oracle.invalidate()
+        assert len(backend._rows) == 0
+
+    def test_version_counter_bumps_on_every_mutation_kind(self):
+        graph = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 2.0)])
+        v0 = graph.version
+        graph.add_edge(2, 3, 1.0)
+        graph.set_edge_weight(0, 1, 4.0)
+        graph.remove_edge(1, 2)
+        graph.detach_node(3)
+        assert graph.version == v0 + 4
+        assert graph.min_weight() == pytest.approx(4.0)
+
+    def test_schemes_built_after_mutation_see_fresh_distances(self):
+        graph = random_geometric_graph(28, seed=374)
+        oracle = DistanceOracle(graph, backend="lazy")
+        build_scheme("shortest-path", graph, k=2, oracle=oracle)  # warm cache
+        u, v, w = next(graph.edges())
+        graph.remove_edge(u, v)
+        scheme = build_scheme("shortest-path", graph, k=2, oracle=oracle)
+        sim = RoutingSimulator(graph, oracle=DistanceOracle(graph, backend="dense"))
+        report = sim.evaluate_batch(scheme, sim.sample_pairs(60, seed=1))
+        assert report.failures == 0
+        assert report.max_stretch == pytest.approx(1.0)
+
+
 class TestBackendSelection:
     def test_auto_picks_dense_for_small_graphs(self):
         graph = erdos_renyi_graph(24, seed=351)

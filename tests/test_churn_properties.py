@@ -1,0 +1,284 @@
+"""Churn property suite: every scheme survives failure/repair cycles.
+
+Seeded randomized properties across graph families × seeds × schemes: after
+an event batch is applied and ``maintain()`` runs, every scheme's routes must
+be valid walks on the mutated graph (checked against a *freshly built*
+oracle and simulator, not the repaired scheme's own state) with stretch
+within the scheme's advertised bound, and the scalar and lockstep engines
+must stay observationally identical.  Also covers the repair plumbing itself
+(full rebuild vs incremental equivalence, NextHopTable patching, TreeBank
+re-slotting) and the pair-sampler edge cases churn creates (disconnected
+components, shortfalls, self-pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.events import (
+    ChurnEvent,
+    apply_events,
+    edge_failures,
+    edge_recoveries,
+    node_detachments,
+    random_event_batch,
+    weight_perturbations,
+)
+from repro.dynamics.repair import tree_is_intact
+from repro.dynamics.scenario import (
+    SCENARIO_NAMES,
+    make_scenario,
+    run_scenario_matrix,
+    stale_delivery_rate,
+)
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    random_geometric_graph,
+    ring_of_cliques,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
+from repro.routing.simulator import PairSamplingError, RoutingSimulator
+
+#: advertised stretch bound per scheme at k=2 (mirrors the static suites)
+STRETCH_BOUND = {
+    "shortest-path": 1.0 + 1e-9,
+    "cowen": 3.0 + 1e-6,
+    "thorup-zwick": 3.0 + 1e-6,          # 4k - 5 at k = 2
+    "agm": 16 * 2 + 8,                   # experiment-constant AGM bound
+    "awerbuch-peleg": 16 * 2 + 8,
+    "exponential": 16 * 2 ** 2 + 8,      # the O(2^k) family
+}
+
+FAMILIES = {
+    "geometric": lambda seed: random_geometric_graph(40, seed=seed),
+    "erdos-renyi": lambda seed: erdos_renyi_graph(36, seed=seed),
+    "grid": lambda seed: grid_graph(6, 6, seed=seed),
+    "ring-of-cliques": lambda seed: ring_of_cliques(5, 6, seed=seed),
+}
+
+
+def fresh_simulator(graph: WeightedGraph) -> RoutingSimulator:
+    """A simulator over a *freshly built* oracle — the churn-agnostic referee."""
+    return RoutingSimulator(graph, oracle=DistanceOracle(graph, backend="dense"))
+
+
+def churn_rounds(graph, scheme, seed, rounds=2, batch=5,
+                 kinds=("fail", "perturb", "detach")):
+    """Apply ``rounds`` random event batches, repairing after each."""
+    for round_index in range(rounds):
+        events = random_event_batch(graph, batch, seed=seed + round_index,
+                                    kinds=kinds)
+        delta = apply_events(graph, events)
+        report = scheme.maintain(delta)
+        assert report.seconds >= 0.0
+        assert report.strategy in ("incremental", "full-rebuild")
+    return scheme
+
+
+class TestPostRepairInvariants:
+    """Walks valid against a fresh oracle; stretch within the advertised bound."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_valid_walks_and_stretch_bound_after_churn(self, family, scheme_name):
+        for seed in (1, 2):
+            graph = FAMILIES[family](600 + seed)
+            scheme = build_scheme(scheme_name, graph, k=2, seed=seed,
+                                  oracle=DistanceOracle(graph, backend="dense"))
+            churn_rounds(graph, scheme, seed=40 + seed)
+            sim = fresh_simulator(graph)
+            pairs = sim.sample_pairs(60, seed=seed, on_shortfall="warn")
+            if not pairs:
+                continue
+            # evaluate_batch verifies every hop of every walk via the fresh
+            # CSR gather; an invalid post-repair walk raises InvalidRouteError
+            report = sim.evaluate_batch(scheme, pairs)
+            assert report.failures == 0
+            assert report.max_stretch <= STRETCH_BOUND[scheme_name]
+
+    @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+    def test_failure_then_recovery_restores_baseline_stretch(self, scheme_name):
+        graph = random_geometric_graph(40, seed=77)
+        oracle = DistanceOracle(graph, backend="dense")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=3, oracle=oracle)
+        sim = RoutingSimulator(graph, oracle=oracle)
+        pairs = sim.sample_pairs(50, seed=5)
+        before = sim.evaluate_batch(scheme, pairs)
+
+        failures = edge_failures(graph, 5, seed=11)
+        delta = apply_events(graph, failures)
+        scheme.maintain(delta)
+        mid = sim.evaluate_batch(scheme, pairs)
+        assert mid.failures == 0  # still delivers inside surviving components
+
+        recoveries = edge_recoveries([c for rec in delta.applied
+                                      for c in rec.changes])
+        scheme.maintain(apply_events(graph, recoveries))
+        after = sim.evaluate_batch(scheme, pairs)
+        assert after.failures == 0
+        assert after.max_stretch <= STRETCH_BOUND[scheme_name]
+        # the healed topology is the original one: stretch is back in band
+        assert after.avg_stretch <= max(before.avg_stretch,
+                                        STRETCH_BOUND[scheme_name])
+
+
+class TestIncrementalMatchesFullRebuild:
+    """Incremental repair must be observationally equal to a fresh build."""
+
+    @pytest.mark.parametrize("scheme_name", ["shortest-path", "thorup-zwick"])
+    def test_same_reports_as_scratch_instance(self, scheme_name):
+        graph = random_geometric_graph(42, seed=88)
+        oracle = DistanceOracle(graph, backend="dense")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=9, oracle=oracle)
+        events = (edge_failures(graph, 4, seed=21)
+                  + weight_perturbations(graph, 4, seed=22)
+                  + node_detachments(graph, 1, seed=23))
+        delta = apply_events(graph, events)
+        report = scheme.maintain(delta)
+        assert report.strategy == "incremental"
+
+        scratch = build_scheme(scheme_name, graph, k=2, seed=9,
+                               oracle=DistanceOracle(graph, backend="dense"))
+        sim = fresh_simulator(graph)
+        pairs = sim.sample_pairs(80, seed=13, on_shortfall="warn")
+        repaired = sim.evaluate_batch(scheme, pairs).as_dict()
+        rebuilt = sim.evaluate_batch(scratch, pairs).as_dict()
+        # identical stretch distribution and space accounting — paths may
+        # differ only between equal-cost shortest paths
+        for key in ("max_stretch", "avg_stretch", "median_stretch",
+                    "p95_stretch", "failures", "max_label_bits"):
+            assert repaired[key] == pytest.approx(rebuilt[key], rel=1e-9), key
+
+    def test_next_hop_table_patched_in_place(self):
+        graph = random_geometric_graph(36, seed=91)
+        scheme = build_scheme("shortest-path", graph, k=2, seed=1,
+                              oracle=DistanceOracle(graph, backend="dense"))
+        program = scheme.compiled_forwarding()
+        delta = apply_events(graph, edge_failures(graph, 3, seed=2))
+        report = scheme.maintain(delta)
+        assert report.strategy == "incremental"
+        assert report.dirty_destinations > 0
+        # the compiled program object survived the event batch
+        assert scheme.compiled_forwarding() is program
+        # and its patched table matches the repaired scalar dicts exactly
+        rebuilt = scheme.compile_forwarding().tables[0]
+        live = program.tables[0]
+        np.testing.assert_array_equal(live.keys, rebuilt.keys)
+        np.testing.assert_array_equal(live.next_hops, rebuilt.next_hops)
+
+    def test_tree_bank_reslots_only_dirty_trees(self):
+        graph = random_geometric_graph(48, seed=92)
+        scheme = build_scheme("thorup-zwick", graph, k=2, seed=4,
+                              oracle=DistanceOracle(graph, backend="dense"))
+        scheme.compiled_forwarding()
+        old_trees = set(map(id, (r.tree for r in scheme._trees.values())))
+        delta = apply_events(graph, edge_failures(graph, 2, seed=5))
+        report = scheme.maintain(delta)
+        assert report.strategy == "incremental"
+        assert report.reused_trees > 0  # most clusters untouched by 2 failures
+        reused = [r.tree for r in scheme._trees.values()
+                  if id(r.tree) in old_trees]
+        assert reused and all(hasattr(t, "_forwarding_slots") for t in reused)
+
+    def test_tree_is_intact_detects_breakage(self):
+        graph = grid_graph(5, 5, seed=93)
+        oracle = DistanceOracle(graph, backend="dense")
+        tree = shortest_path_tree(graph, 0)
+        assert tree_is_intact(graph, tree, oracle.row(0))
+        child = next(iter(tree.parent))
+        graph.remove_edge(tree.parent[child], child)
+        assert not tree_is_intact(graph, tree, oracle.row(0))
+
+
+class TestScenarioMatrix:
+    def test_all_named_scenarios_run_with_parity(self):
+        from repro.experiments.workloads import workload_factory
+
+        result = run_scenario_matrix(
+            ["shortest-path", "cowen"], workload_factory("erdos-renyi", 48, 5),
+            scenarios=SCENARIO_NAMES, epochs=3, num_pairs=40, seed=2)
+        assert len(result.rows) == len(SCENARIO_NAMES) * 4 * 2
+        for row in result.rows:
+            assert row["parity"]
+            assert row["delivery"] == pytest.approx(1.0)
+            assert 0.0 <= row["stale_delivery"] <= 1.0
+            assert row["repair_seconds"] >= 0.0
+        # the flap scenario must actually drop deliveries while stale
+        flap = [r for r in result.rows
+                if r["scenario"] == "flap-heavy" and r["epoch"] > 0]
+        assert any(r["stale_delivery"] < 1.0 for r in flap)
+
+    def test_partition_and_heal_round_trips_the_topology(self):
+        graph = ring_of_cliques(5, 6, seed=31)
+        edges_before = sorted(graph.edges())
+        scenario = make_scenario("partition-and-heal")
+        rng = np.random.default_rng(7)
+        for epoch in range(1, 5):
+            apply_events(graph,
+                         scenario.events_for_epoch(graph, epoch, 4, rng))
+        assert sorted(graph.edges()) == edges_before
+
+    def test_stale_delivery_rate_counts_broken_walks(self):
+        graph = grid_graph(4, 4, seed=41)
+        scheme = build_scheme("shortest-path", graph, k=2, seed=1,
+                              oracle=DistanceOracle(graph, backend="dense"))
+        sim = fresh_simulator(graph)
+        pairs = sim.sample_pairs(40, seed=2)
+        assert stale_delivery_rate(scheme, graph, pairs) == pytest.approx(1.0)
+        apply_events(graph, edge_failures(graph, 6, seed=3))
+        stale = stale_delivery_rate(scheme, graph, pairs)
+        assert 0.0 <= stale < 1.0
+
+
+class TestSamplePairsUnderChurn:
+    """Pair-sampler edge cases created by failures and partitions."""
+
+    def test_shortfall_raise_and_warn_after_total_failure(self):
+        graph = erdos_renyi_graph(16, seed=51)
+        failures = [ChurnEvent("fail", u, v) for u, v, _ in graph.edges()]
+        apply_events(graph, failures)
+        assert graph.num_edges == 0
+        sim = fresh_simulator(graph)
+        with pytest.raises(PairSamplingError):
+            sim.sample_pairs(5, seed=0)
+        with pytest.warns(UserWarning, match="no connected pair"):
+            assert sim.sample_pairs(5, seed=0, on_shortfall="warn") == []
+
+    def test_distinct_false_still_samples_self_pairs_on_isolated_nodes(self):
+        graph = erdos_renyi_graph(12, seed=52)
+        apply_events(graph, [ChurnEvent("fail", u, v)
+                             for u, v, _ in graph.edges()])
+        sim = fresh_simulator(graph)
+        pairs = sim.sample_pairs(30, seed=1, distinct=False)
+        assert len(pairs) == 30
+        assert all(u == v for u, v in pairs)
+
+    def test_sampling_respects_surviving_components(self):
+        graph = ring_of_cliques(4, 5, seed=53)
+        scenario = make_scenario("partition-and-heal", region_fraction=0.3)
+        rng = np.random.default_rng(3)
+        apply_events(graph, scenario.events_for_epoch(graph, 1, 2, rng))
+        sim = fresh_simulator(graph)
+        comp = graph.component_ids()
+        pairs = sim.sample_pairs(100, seed=4, on_shortfall="warn")
+        assert pairs
+        for u, v in pairs:
+            assert u != v and comp[u] == comp[v]
+
+    def test_single_component_fallback_after_detachments(self):
+        # detach everything except one clique: sampling must fall back to the
+        # single surviving multi-node component and still fill the request
+        graph = ring_of_cliques(3, 4, seed=54)
+        victims = [v for v in range(4, graph.n)]
+        apply_events(graph, [ChurnEvent("detach", v) for v in victims])
+        sim = fresh_simulator(graph)
+        comp = graph.component_ids()
+        pairs = sim.sample_pairs(50, seed=5)
+        assert len(pairs) == 50
+        survivors = {u for pair in pairs for u in pair}
+        assert survivors <= set(range(4))
+        assert all(comp[u] == comp[v] for u, v in pairs)

@@ -9,6 +9,8 @@ from hypothesis import strategies as st
 
 from repro.core.params import AGMParams
 from repro.core.scheme import AGMRoutingScheme
+from repro.dynamics.events import apply_events, random_event_batch
+from repro.factory import build_scheme
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, dijkstra, shortest_path_tree
 from repro.hashing.universal import DigitHash, KWiseHash
@@ -155,6 +157,49 @@ class TestTreeRoutingProperties:
         tree = shortest_path_tree(graph, 0)
         routing = CompactTreeRouting(tree, k=k)
         assert routing.max_light_edges() <= max(k, int(math.log2(max(tree.size, 2))) + 1)
+
+
+# --------------------------------------------------------------------------- #
+# churn: engine parity must survive mutation + repair
+# --------------------------------------------------------------------------- #
+class TestChurnEngineParityProperties:
+    @SLOW
+    @given(connected_weighted_graphs(max_nodes=12),
+           st.sampled_from(["shortest-path", "thorup-zwick", "cowen",
+                            "exponential"]),
+           st.integers(min_value=0, max_value=2**16))
+    def test_engines_produce_identical_walks_after_each_event_batch(
+            self, graph, scheme_name, seed):
+        """Scalar vs lockstep parity under mutation.
+
+        After every event batch + ``maintain()`` — which patches NextHopTable
+        columns / re-slots TreeBank trees for the incremental schemes — both
+        engines must produce identical walks (node for node) and identical
+        found/strategy metadata on a random pair sample.
+        """
+        scheme = build_scheme(scheme_name, graph, k=2, seed=seed,
+                              oracle=DistanceOracle(graph, backend="dense"))
+        for batch_index in range(2):
+            events = random_event_batch(graph, 3, seed=seed + batch_index,
+                                        kinds=("fail", "perturb"))
+            delta = apply_events(graph, events)
+            scheme.maintain(delta)
+            simulator = RoutingSimulator(
+                graph, oracle=DistanceOracle(graph, backend="dense"))
+            import warnings
+
+            with warnings.catch_warnings():
+                # failures may have shattered the graph: a short sample is fine
+                warnings.simplefilter("ignore")
+                pairs = simulator.sample_pairs(8, seed=seed,
+                                               on_shortfall="warn")
+            scalar = simulator.route_batch(scheme, pairs, engine="scalar")
+            lockstep = simulator.route_batch(scheme, pairs, engine="lockstep")
+            for a, b in zip(scalar, lockstep):
+                assert a.path == b.path
+                assert a.found == b.found
+                assert a.strategy == b.strategy
+                assert a.phases_used == b.phases_used
 
 
 # --------------------------------------------------------------------------- #
