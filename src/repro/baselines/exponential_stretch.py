@@ -24,8 +24,11 @@ as ``k`` grows while the table size shrinks.
 from __future__ import annotations
 
 import math
+
+import numpy as np
 from typing import Dict, Hashable, List, Optional
 
+from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
                                           shortest_path_tree)
@@ -46,7 +49,8 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
     def __init__(self, graph: WeightedGraph, k: int = 2,
                  oracle: Optional[DistanceOracle] = None,
                  seed=None, name_bits: int = 64,
-                 responsibility_factor: float = 4.0) -> None:
+                 responsibility_factor: float = 4.0,
+                 context: Optional[BuildContext] = None) -> None:
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
@@ -54,12 +58,13 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
         self.name_bits = int(name_bits)
         self.responsibility_factor = float(responsibility_factor)
         self._build_seed = seed  # kept for rebuild_spec / churn repair
-        self._build(seed)
+        self._build(seed, context or BuildContext(graph, oracle=self.oracle,
+                                                  seed=seed))
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _build(self, seed) -> None:
+    def _build(self, seed, context: BuildContext) -> None:
         graph, oracle = self.graph, self.oracle
         rng = make_rng(seed)
         n = graph.n
@@ -90,22 +95,37 @@ class ExponentialStretchRouting(RoutingSchemeInstance):
             ids, _ = oracle.nearest_member(self.levels[i])
             self.nearest.append(ids.tolist())
 
-        # responsibility trees with Lemma 7 dictionaries
-        self._trees: Dict[int, DictionaryTreeRouting] = {}   # (landmark, level) keyed below
+        # responsibility trees with Lemma 7 dictionaries, grown as one batched
+        # forest — each (level, landmark) job carries its responsibility ball
+        # radius as the kernel limit, so low-level trees stay local searches
         self._tree_key: Dict[tuple, DictionaryTreeRouting] = {}
+        jobs: List[SPTJob] = []
+        job_keys: List[tuple] = []
         for i in range(self.k):
             count = int(math.ceil(self.responsibility_factor * (max(n, 2) ** ((i + 1) / self.k))))
             if i == self.k - 1:
                 count = n  # the top level is responsible for everything
-            for w in self.levels[i]:
-                responsibility = oracle.nearest(w, count)
-                tree = shortest_path_tree(graph, w, members=responsibility)
-                tree_names = {v: names[v] for v in tree.nodes}
-                routing = DictionaryTreeRouting(tree, tree_names, name_bits=self.name_bits,
-                                                seed=derive_rng(seed, 11, i, w))
-                self._tree_key[(i, w)] = routing
-                for v in tree.nodes:
-                    self.tables[v].charge("responsibility_tables", routing.table_bits(v))
+            for chunk in oracle.iter_prefetched_chunks(self.levels[i]):
+                for w in chunk:
+                    responsibility = oracle.nearest(w, count)
+                    limit = float(oracle.row(w)[responsibility].max()) \
+                        if responsibility else 0.0
+                    jobs.append(SPTJob(w, responsibility, limit))
+                    job_keys.append((i, w))
+        if scalar_build_mode():
+            trees = [shortest_path_tree(graph, job.root, members=job.members)
+                     for job in jobs]
+        else:
+            trees = context.spt_trees(jobs)
+        for (i, w), tree in zip(job_keys, trees):
+            tree_names = {v: names[v] for v in tree.nodes}
+            self._tree_key[(i, w)] = DictionaryTreeRouting(
+                tree, tree_names, name_bits=self.name_bits,
+                seed=derive_rng(seed, 11, i, w))
+        self.tables.charge_structures(
+            "responsibility_tables",
+            ((r.tree.nodes, r.table_bits_list())
+             for r in self._tree_key.values()))
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("nearest_landmarks", landmark_bits, count=self.k)

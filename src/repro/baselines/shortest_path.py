@@ -4,14 +4,25 @@ Every node stores, for every destination *name*, the local port of the next
 hop on a shortest path — ``(n-1)`` entries of ``Θ(log n)`` bits each, i.e.
 ``Ω(n log n)`` bits per node.  The paper's Section 1 uses this scheme as the
 motivation for compact routing: perfect stretch, unacceptable space.
+
+Construction is array-native: one chunked multi-source Dijkstra pass (one
+kernel call per block of destinations) fills an ``(n, n)`` int32 next-hop
+matrix column by column — the predecessor of ``x`` on the path *from* the
+destination is exactly ``x``'s next hop *toward* it.  The matrix doubles as
+the compiled forwarding table
+(:class:`~repro.routing.forwarding.DenseNextHopTable` wraps the same array),
+so compiling is free and churn repair patches scheme and engine state with
+one write.  ``REPRO_BUILD_MODE=scalar`` rebuilds through the original
+per-destination Python-heap Dijkstra loop for the build-parity tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Hashable, Optional
 
 import numpy as np
 
+from repro.construction.context import BuildContext, scalar_build_mode
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.routing.messages import RouteResult
@@ -26,29 +37,55 @@ class ShortestPathRouting(RoutingSchemeInstance):
     labeled = False
 
     def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
-                 name_bits: int = 64) -> None:
+                 name_bits: int = 64,
+                 context: Optional[BuildContext] = None) -> None:
         super().__init__(graph)
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
-        #: next_hop[u][name of v] = neighbor of u on a shortest u→v path
-        self._next_hop: list[Dict[Hashable, int]] = [dict() for _ in range(graph.n)]
-        self._build()
+        self._context = context
+        #: next_hop[u, v] = neighbor of u on a shortest u→v path (-1 absent)
+        self._next_hop: np.ndarray = np.full((graph.n, graph.n), -1, dtype=np.int32)
+        if scalar_build_mode():
+            self._build_scalar()
+        else:
+            self._build()
+        self._charge_tables()
 
     def _build(self) -> None:
+        """Fill the next-hop matrix with one kernel call per destination block."""
         graph = self.graph
-        port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
+        if graph.num_edges == 0:
+            return
+        from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+        csr = graph.to_scipy_csr()
+        block = 256
+        for start in range(0, graph.n, block):
+            targets = np.arange(start, min(start + block, graph.n))
+            pred = _scipy_dijkstra(csr, directed=False, indices=targets,
+                                   return_predecessors=True)[1]
+            pred = np.atleast_2d(pred)
+            # pred[t, x] = node before x on the path from t, i.e. x's next hop
+            # toward t; sources with no path (and t itself) stay -1
+            self._next_hop[:, targets] = np.where(pred < 0, -1, pred).T
+
+    def _build_scalar(self) -> None:
+        """Original per-destination Python-heap loop (build-parity reference)."""
+        graph = self.graph
         for target in range(graph.n):
             # A single Dijkstra from the *destination* gives every source's
             # next hop at once (the parent pointer points toward the target).
             dist, parent = dijkstra(graph, target)
-            name = graph.name_of(target)
-            for source in range(graph.n):
-                if source == target or not np.isfinite(dist[source]):
-                    continue
-                self._next_hop[source][name] = int(parent[source])
+            reachable = np.isfinite(dist) & (parent >= 0)
+            self._next_hop[reachable, target] = parent[reachable]
+
+    def _charge_tables(self) -> None:
+        graph = self.graph
+        port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
+        counts = (self._next_hop >= 0).sum(axis=1)
         for u in range(graph.n):
             self.tables[u].charge("next_hop_entries", self.name_bits + port_bits,
-                                  count=len(self._next_hop[u]))
+                                  count=int(counts[u]))
 
     # ------------------------------------------------------------------ #
     # dynamic maintenance
@@ -56,18 +93,18 @@ class ShortestPathRouting(RoutingSchemeInstance):
     def maintain(self, delta=None):
         """Incremental repair: revalidate entries, recompute dirty columns only.
 
-        Every compiled ``(source, destination)`` next-hop entry is checked
-        against fresh shortest-path distances with array gathers — an entry
-        ``x -> p`` toward ``t`` survives iff the edge ``(x, p)`` still exists
-        and ``w(x, p) + d(p, t) == d(x, t)``.  A destination is *dirty* (full
+        Every ``(source, destination)`` next-hop entry is checked against
+        fresh shortest-path distances with array gathers — an entry ``x -> p``
+        toward ``t`` survives iff the edge ``(x, p)`` still exists and
+        ``w(x, p) + d(p, t) == d(x, t)``.  A destination is *dirty* (full
         column recompute by one vectorized multi-source Dijkstra) only when a
         still-connected pair needs rerouting; columns whose only damage is
-        entries from now-disconnected sources are pruned without any Dijkstra.
-        Both repairs patch the scalar dicts and the live compiled
-        :class:`~repro.routing.forwarding.NextHopTable` in place — the
+        entries from now-disconnected sources are pruned without any
+        Dijkstra.  Scheme state and compiled forwarding program share the
+        same next-hop matrix, so one column write repairs both — the
         forwarding program survives the event batch.  Cost: ``O(entries)``
         array work plus Dijkstras for dirty destinations only, versus one
-        Python-heap Dijkstra per destination for a full rebuild.
+        Dijkstra per destination for a full rebuild.
         """
         import time as _time
 
@@ -78,15 +115,15 @@ class ShortestPathRouting(RoutingSchemeInstance):
         start = _time.perf_counter()
         graph, oracle = self.graph, self.oracle
         n = graph.n
-        names = graph.names_view()
-        program = self.compiled_forwarding()
-        table = program.tables[0]
-        keys, hops = table.keys, table.next_hops
+        table = self.compiled_forwarding().tables[0]
+        keys, hops = table.entries()
         sources_of = keys // n
         dests_of = keys % n
 
         # 1. classify every entry with one CSR gather for the edge weights and
-        #    streamed per-destination rows for the distance checks:
+        #    two batched pair-distance gathers (dense: direct matrix fancy
+        #    index; lazy: per-destination grouped row streaming inside
+        #    ``pair_distances``):
         #    valid        — edge alive and still on a shortest path;
         #    reroutable   — broken, but source and destination stay connected
         #                   (the column needs a fresh Dijkstra);
@@ -95,30 +132,14 @@ class ShortestPathRouting(RoutingSchemeInstance):
             csr = graph.to_scipy_csr()
             edge_w = np.asarray(csr[sources_of, hops]).ravel() if graph.num_edges \
                 else np.zeros(keys.size)
-            valid = edge_w > 0.0
-            reachable = np.zeros(keys.size, dtype=bool)
-            order = np.argsort(dests_of, kind="stable")
-            sorted_dests = dests_of[order]
-            run_starts = np.flatnonzero(
-                np.concatenate(([True], sorted_dests[1:] != sorted_dests[:-1])))
-            run_ends = np.concatenate((run_starts[1:], [sorted_dests.size]))
-            runs = list(zip(sorted_dests[run_starts].tolist(),
-                            run_starts.tolist(), run_ends.tolist()))
-            run_of = {t: (lo, hi) for t, lo, hi in runs}
-            for chunk in oracle.iter_prefetched_chunks(runs, source=lambda r: r[0]):
-                for t, lo, hi in chunk:
-                    idx = order[lo:hi]
-                    row_t = oracle.row(int(t))
-                    d_x = row_t[sources_of[idx]]
-                    d_p = row_t[hops[idx]]
-                    reachable[idx] = np.isfinite(d_x)
-                    valid[idx] &= reachable[idx] & np.isclose(
-                        edge_w[idx] + d_p, d_x, rtol=1e-9, atol=1e-9)
+            d_x = oracle.pair_distances(dests_of, sources_of)
+            d_p = oracle.pair_distances(dests_of, hops)
+            reachable = np.isfinite(d_x)
+            valid = (edge_w > 0.0) & reachable & np.isclose(
+                edge_w + d_p, d_x, rtol=1e-9, atol=1e-9)
         else:
             valid = np.zeros(0, dtype=bool)
             reachable = np.zeros(0, dtype=bool)
-            order = np.zeros(0, dtype=np.int64)
-            run_of = {}
 
         # 2. dirty destinations (full column recompute): a broken entry whose
         #    endpoints are still connected, or a valid-entry count that no
@@ -140,48 +161,39 @@ class ShortestPathRouting(RoutingSchemeInstance):
         dirty = np.flatnonzero(dirty_mask)
         prune = np.flatnonzero(~dirty_mask & (stale_counts > 0))
 
+        # adaptive bail-out: when churn dirtied (nearly) every column, the
+        # per-column patching machinery cannot beat the vectorized full
+        # rebuild it would effectively replicate — classification was cheap,
+        # so hand the batch to the scratch path instead.  The floor keeps
+        # small instances on the incremental path, where patching is
+        # never the bottleneck.
+        if dirty.size >= max(64, int(0.8 * n)):
+            return full_rebuild(self, delta)
+
         # prune-only columns: drop the disconnected sources' entries, keep the
         # (provably still optimal) rest
         pruned = 0
         if prune.size:
             prune_mask = np.zeros(n, dtype=bool)
             prune_mask[prune] = True
-            drop = stale & prune_mask[dests_of]
-            for x, t in zip(sources_of[drop].tolist(), dests_of[drop].tolist()):
-                self._next_hop[x].pop(names[t], None)
             keep = valid & prune_mask[dests_of]
             table.replace_destinations(prune.tolist(), keys[keep], hops[keep])
-            pruned = int(np.count_nonzero(drop))
+            pruned = int(np.count_nonzero(stale & prune_mask[dests_of]))
 
-        # 3. recompute the dirty columns with one vectorized kernel call and
-        #    patch dicts + compiled table
+        # 3. recompute the dirty columns with one vectorized kernel call; the
+        #    write patches the scheme matrix and the compiled table at once
         patched = 0
         if dirty.size:
             from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
-            dist_block, pred_block = _scipy_dijkstra(
+            pred_block = np.atleast_2d(_scipy_dijkstra(
                 graph.to_scipy_csr(), directed=False, indices=dirty,
-                return_predecessors=True)
-            dist_block = np.atleast_2d(dist_block)
-            pred_block = np.atleast_2d(pred_block)
-            all_nodes = np.arange(n)
+                return_predecessors=True)[1])
             new_keys = []
             new_hops = []
             for local, t in enumerate(dirty.tolist()):
-                name = names[t]
-                row = dist_block[local]
                 pred = pred_block[local]
-                reach = np.flatnonzero(np.isfinite(row) & (all_nodes != t))
-                reach_set = set(reach.tolist())
-                # drop old entries of sources that lost reachability to t,
-                # locating t's entries via the step-1 run partition
-                span = run_of.get(t)
-                old_here = order[span[0]:span[1]] if span else order[:0]
-                for x in sources_of[old_here].tolist():
-                    if x not in reach_set:
-                        self._next_hop[x].pop(name, None)
-                for x in reach.tolist():
-                    self._next_hop[x][name] = int(pred[x])
+                reach = np.flatnonzero(pred >= 0)
                 new_keys.append(reach * n + t)
                 new_hops.append(pred[reach])
             patched = table.replace_destinations(
@@ -192,10 +204,11 @@ class ShortestPathRouting(RoutingSchemeInstance):
             # re-account the per-node space charge
             port_bits = bits_for_id(max(graph.max_degree(), 1)) \
                 if graph.num_edges else 1
+            counts = (self._next_hop >= 0).sum(axis=1)
             for u in range(n):
                 self.tables[u].recharge("next_hop_entries",
                                         self.name_bits + port_bits,
-                                        count=len(self._next_hop[u]))
+                                        count=int(counts[u]))
         return RepairReport(
             scheme=self.scheme_name, strategy="incremental",
             seconds=_time.perf_counter() - start,
@@ -205,11 +218,12 @@ class ShortestPathRouting(RoutingSchemeInstance):
                      "pruned_entries": int(pruned)})
 
     def compile_forwarding(self):
-        """Compile the next-hop dicts into one sorted (node, dest) key table."""
-        from repro.routing.forwarding import (ForwardingProgram, NextHopTable,
-                                              PacketPlan, table_leg)
+        """Wrap the next-hop matrix as a dense compiled table (zero copy)."""
+        from repro.routing.forwarding import (DenseNextHopTable,
+                                              ForwardingProgram, PacketPlan,
+                                              table_leg)
 
-        table = NextHopTable.from_name_dicts(self.graph, self._next_hop)
+        table = DenseNextHopTable(self._next_hop)
         header = self.header_bits()
         # only two distinct plans exist; share the (immutable) objects
         self_plan = PacketPlan([], "shortest-path", 0)
@@ -228,15 +242,18 @@ class ShortestPathRouting(RoutingSchemeInstance):
         if self.graph.name_of(source) == destination_name:
             result.found = True
             return result
+        if not self.graph.has_name(destination_name):
+            return result
+        destination = self.graph.index_of(destination_name)
         current = source
         for _ in range(self.graph.n + 1):
-            nxt = self._next_hop[current].get(destination_name)
-            if nxt is None:
+            nxt = int(self._next_hop[current, destination])
+            if nxt < 0:
                 return result
             result.cost += self.graph.edge_weight(current, nxt)
             result.path.append(nxt)
             current = nxt
-            if self.graph.name_of(current) == destination_name:
+            if current == destination:
                 result.found = True
                 result.phases_used = 1
                 return result

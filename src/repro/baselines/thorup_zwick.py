@@ -31,6 +31,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
                                           shortest_path_tree)
@@ -50,7 +51,8 @@ class ThorupZwickRouting(RoutingSchemeInstance):
 
     def __init__(self, graph: WeightedGraph, k: int = 2,
                  oracle: Optional[DistanceOracle] = None,
-                 seed=None, name_bits: int = 64) -> None:
+                 seed=None, name_bits: int = 64,
+                 context: Optional[BuildContext] = None) -> None:
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
         self.k = int(k)
@@ -71,7 +73,7 @@ class ThorupZwickRouting(RoutingSchemeInstance):
             levels.append(kept)
         self.levels = levels
 
-        self._build()
+        self._build(context or BuildContext(graph, oracle=self.oracle, seed=seed))
 
     # ------------------------------------------------------------------ #
     # construction
@@ -103,29 +105,71 @@ class ThorupZwickRouting(RoutingSchemeInstance):
 
         Only landmarks that are someone's pivot are yielded (those are what
         routing can actually touch); root rows come one batched fetch per
-        chunk — rows() fills from the computed blocks directly, so this stays
-        efficient past the LRU capacity.
+        chunk.  A member needs ``d(w, v) < d(v, A_{i+1})``, so on a backend
+        that computes rows on demand the fetch is a *radius-limited* kernel
+        call per chunk (limit = the level's largest ``d(·, A_{i+1})``):
+        level-0 rows become local searches instead of full-graph Dijkstras.
+        Entries beyond the limit come back ``inf``, which the strict
+        ``<`` membership test excludes anyway — identical members either way.
         """
         n, k, oracle = self.graph.n, self.k, self.oracle
         used: List[Tuple[int, int]] = sorted({(i, pivot[i][v])
                                               for i in range(k) for v in range(n)})
+        limited = oracle.backend_name == "lazy" and self.graph.num_edges > 0
+        csr = self.graph.to_scipy_csr() if limited else None
+        limits = np.full(k + 1, np.inf)
+        if limited:
+            for i in range(k + 1):
+                level = dist_to_level[i]
+                if np.isfinite(level).all():
+                    # a node with d(·, A_i) = inf could join a cluster at any
+                    # distance, so only an everywhere-finite level is bounded
+                    limits[i] = float(level.max())
         block = oracle.block_rows()
         for start in range(0, len(used), block):
             chunk = used[start:start + block]
-            chunk_rows = oracle.rows([w for _, w in chunk])
+            if limited:
+                from repro.construction.context import limited_dijkstra
+
+                limit = float(max(limits[i + 1] for i, _ in chunk))
+                chunk_rows = limited_dijkstra(csr, [w for _, w in chunk], limit)
+            else:
+                chunk_rows = oracle.rows([w for _, w in chunk])
             for (i, w), row_w in zip(chunk, chunk_rows):
                 members = [int(v) for v in
                            np.where(row_w < dist_to_level[i + 1] - 1e-12)[0]]
                 members.append(w)
                 yield (i, w), row_w, members
 
-    def _build(self) -> None:
+    def _build(self, context: BuildContext) -> None:
         n, k = self.graph.n, self.k
         self.pivot, dist_to_level = self._level_structure()
         self._trees: Dict[Tuple[int, int], CompactTreeRouting] = {}
         self._members: Dict[Tuple[int, int], frozenset] = {}
-        for (i, w), _, members in self._iter_used_clusters(self.pivot, dist_to_level):
-            self._build_cluster_tree(i, w, members)
+        if scalar_build_mode():
+            for (i, w), _, members in self._iter_used_clusters(self.pivot,
+                                                               dist_to_level):
+                self._build_cluster_tree(i, w, members)
+        else:
+            # batched forest: one kernel call per chunk of cluster roots, each
+            # call limited to its chunk's farthest member — small low-level
+            # clusters become local searches instead of full-graph Dijkstras
+            jobs: List[SPTJob] = []
+            keys: List[Tuple[Tuple[int, int], frozenset]] = []
+            for (i, w), row_w, members in self._iter_used_clusters(self.pivot,
+                                                                   dist_to_level):
+                member_list = sorted(set(members))
+                limit = float(row_w[member_list].max()) if member_list else 0.0
+                jobs.append(SPTJob(w, member_list, limit))
+                keys.append(((i, w), frozenset(members)))
+            for (key, member_set), tree in zip(keys, context.spt_trees(jobs)):
+                routing = CompactTreeRouting(tree, k=max(self.k, 2))
+                self._trees[key] = routing
+                self._members[key] = member_set
+            self.tables.charge_structures(
+                "cluster_tree_tables",
+                ((r.tree.nodes, r.table_bits_list())
+                 for r in self._trees.values()))
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("pivot_pointers", landmark_bits, count=k)
@@ -135,8 +179,8 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         routing = CompactTreeRouting(tree, k=max(self.k, 2))
         self._trees[(i, w)] = routing
         self._members[(i, w)] = frozenset(members)
-        for v in tree.nodes:
-            self.tables[v].charge("cluster_tree_tables", routing.table_bits(v))
+        for v, bits in zip(tree.nodes, routing.table_bits_list()):
+            self.tables[v].charge("cluster_tree_tables", bits)
 
     # ------------------------------------------------------------------ #
     # dynamic maintenance
@@ -167,6 +211,11 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         self._trees, self._members = {}, {}
         self.tables = TableCollection(n)
         rebuilt = reused = 0
+        # classify first, then grow every dirtied tree in one batched SPT
+        # forest (same chunked, radius-limited kernel path as _build); dict
+        # insertion order is preserved via placeholders
+        jobs: List[SPTJob] = []
+        pending: List[Tuple[Tuple[int, int], frozenset]] = []
         for (i, w), row_w, members in self._iter_used_clusters(self.pivot,
                                                                dist_to_level):
             member_set = frozenset(members)
@@ -175,12 +224,24 @@ class ThorupZwickRouting(RoutingSchemeInstance):
                     and tree_is_intact(self.graph, old.tree, row_w)):
                 self._trees[(i, w)] = old
                 self._members[(i, w)] = member_set
-                for v in old.tree.nodes:
-                    self.tables[v].charge("cluster_tree_tables", old.table_bits(v))
+                for v, bits in zip(old.tree.nodes, old.table_bits_list()):
+                    self.tables[v].charge("cluster_tree_tables", bits)
                 reused += 1
             else:
-                self._build_cluster_tree(i, w, members)
+                member_list = sorted(set(members))
+                limit = float(row_w[member_list].max()) if member_list else 0.0
+                jobs.append(SPTJob(w, member_list, limit))
+                pending.append(((i, w), member_set))
+                self._trees[(i, w)] = None  # placeholder keeps cluster order
                 rebuilt += 1
+        if jobs:
+            context = BuildContext(self.graph, oracle=self.oracle)
+            for (key, member_set), tree in zip(pending, context.spt_trees(jobs)):
+                routing = CompactTreeRouting(tree, k=max(self.k, 2))
+                self._trees[key] = routing
+                self._members[key] = member_set
+                for v, bits in zip(tree.nodes, routing.table_bits_list()):
+                    self.tables[v].charge("cluster_tree_tables", bits)
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("pivot_pointers", landmark_bits, count=k)

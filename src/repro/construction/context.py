@@ -1,0 +1,309 @@
+"""Shared build state: batched SPT forests, ball tables, parallel fan-out.
+
+Every scheme's preprocessing decomposes into the same few primitives — grow a
+shortest-path tree per root, restrict it to a member set, compute the ball of
+every node at some radius, fan independent units (scales, cluster chunks)
+out.  :class:`BuildContext` owns the batched implementations of those
+primitives so all six schemes share them:
+
+* :meth:`BuildContext.spt_trees` answers a whole list of :class:`SPTJob`
+  requests with one SciPy multi-source Dijkstra call per chunk of roots.
+  Jobs carrying a distance ``limit`` (the farthest member the tree must
+  reach) are grouped by limit magnitude so a chunk of small cluster trees is
+  a chunk of *local* searches — the kernel abandons every path beyond the
+  chunk limit instead of running ``n`` full-graph Dijkstras.
+* :meth:`BuildContext.ball_csr` streams the ball membership of every node at
+  one radius into flat CSR arrays (one row-block pass over the oracle, no
+  Python sets), which is what the vectorized sparse-cover coarsening and the
+  dense-strategy covers consume.
+* :meth:`BuildContext.map` is an order-preserving thread fan-out for
+  independent build units.  Unit seeds are always derived from the unit's
+  *index* (never from execution order), so parallel builds are bit-identical
+  to serial ones.
+
+Trees produced here carry their forwarding slot arrays from construction
+(see :meth:`repro.graphs.trees.Tree._compute_dfs`), so a later
+``TreeBank.freeze`` finds every per-tree cache already populated.
+
+``REPRO_BUILD_MODE=scalar`` switches the schemes back to their original
+scalar constructors; the build-parity suite asserts both paths produce
+identical instances.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
+                                          shortest_path_tree)
+from repro.graphs.trees import Tree
+from repro.utils.validation import require
+
+#: roots per SciPy kernel call in :meth:`BuildContext.spt_trees`
+DEFAULT_SPT_CHUNK = 256
+
+
+def scalar_build_mode() -> bool:
+    """Whether the legacy scalar construction paths are forced.
+
+    Controlled by ``REPRO_BUILD_MODE`` (``vectorized`` is the default;
+    ``scalar`` re-enables the original per-node Python constructors).  The
+    build-parity tests build schemes under both modes and assert the results
+    are identical.
+    """
+    return os.environ.get("REPRO_BUILD_MODE", "vectorized").lower() == "scalar"
+
+
+def limited_dijkstra(csr, sources: Sequence[int], limit: Optional[float] = None,
+                     predecessors: bool = False):
+    """Multi-source Dijkstra rows under one shared distance limit.
+
+    The single place the limit margin lives: a node at exactly the limit must
+    still be finalized, so the bound is widened by one relative + absolute
+    epsilon before reaching the kernel.  ``limit=None`` (or ``inf``) runs
+    unbounded.  Returns ``rows`` or ``(rows, preds)`` as 2-D arrays.
+    """
+    limit_arg = np.inf
+    if limit is not None and np.isfinite(limit):
+        limit_arg = float(limit) * (1.0 + 1e-12) + 1e-12
+    out = _scipy_dijkstra(csr, directed=False, indices=list(sources),
+                          return_predecessors=predecessors, limit=limit_arg)
+    if predecessors:
+        return np.atleast_2d(out[0]), np.atleast_2d(out[1])
+    return np.atleast_2d(out)
+
+
+class SPTJob(NamedTuple):
+    """One shortest-path-tree request for :meth:`BuildContext.spt_trees`.
+
+    ``members`` prunes the tree to the union of root-to-member shortest paths
+    (``None`` spans everything reachable).  ``limit`` is an upper bound on the
+    distance from the root to any required node; it lets the batched kernel
+    abandon paths beyond the tree's reach.  A correct limit never changes the
+    output — it only makes the search local.
+    """
+
+    root: int
+    members: Optional[Sequence[int]] = None
+    limit: Optional[float] = None
+
+
+def tree_from_predecessors(graph: WeightedGraph, root: int,
+                           dist: np.ndarray, pred: np.ndarray,
+                           members: Optional[Sequence[int]] = None,
+                           edge_index: Optional["_EdgeIndex"] = None) -> Tree:
+    """Assemble a (pruned) :class:`Tree` from one Dijkstra row, vectorized.
+
+    The scalar path walks each member's parent chain in Python; here the kept
+    set is computed as an ancestor closure with whole-frontier array gathers
+    and the edge weights come from one sorted-key lookup instead of per-edge
+    ``edge_weight`` calls.
+    """
+    parent = np.where(pred < 0, -1, pred).astype(np.int64)
+    n = graph.n
+    keep = np.zeros(n, dtype=bool)
+    keep[root] = True
+    if members is None:
+        keep |= np.isfinite(dist)
+    else:
+        frontier = np.unique(np.asarray(list(members), dtype=np.int64))
+        frontier = frontier[np.isfinite(dist[frontier])]
+        while frontier.size:
+            fresh = frontier[~keep[frontier]]
+            if fresh.size == 0:
+                break
+            keep[fresh] = True
+            parents = parent[fresh]
+            frontier = np.unique(parents[parents >= 0])
+    kept = np.flatnonzero(keep)
+    children = kept[kept != root]
+    if children.size == 0:
+        return Tree.single_node(int(root))
+    parents_of = parent[children]
+    require(bool((parents_of >= 0).all()),
+            "kept tree node without a predecessor (pruning bug)")
+    if edge_index is None:
+        edge_index = _EdgeIndex(graph)
+    weights = edge_index.weights(parents_of, children)
+    return Tree(root=int(root),
+                parent=dict(zip(children.tolist(), parents_of.tolist())),
+                edge_weight=dict(zip(children.tolist(), weights.tolist())))
+
+
+class _EdgeIndex:
+    """Vectorized ``weight(u, v)`` lookups over one sorted edge-key array.
+
+    Row-major CSR traversal yields ascending ``u * n + v`` keys, so a batch of
+    edge weights is one ``searchsorted`` — far cheaper than SciPy matrix
+    fancy-indexing per tree when thousands of small trees are assembled.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        csr = graph.to_scipy_csr()
+        n = graph.n
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+        self._keys = row_of * n + csr.indices
+        self._weights = csr.data
+        self.n = n
+
+    def weights(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(self._keys, us * self.n + vs)
+        return self._weights[pos]
+
+
+class BuildContext:
+    """Batched construction primitives for one ``(graph, seed)``.
+
+    Parameters
+    ----------
+    graph:
+        The network being preprocessed.
+    oracle:
+        Exact distance oracle (created with automatic backend selection when
+        omitted); shared by every primitive so streamed passes reuse one row
+        cache.
+    seed:
+        The build seed (carried for diagnostics; schemes keep deriving their
+        unit seeds themselves so serial/parallel orders agree).
+    parallel:
+        Worker threads for :meth:`map` fan-outs (``None``/``0``/``1`` =
+        serial).  The kernel calls release the GIL, so independent scales and
+        tree chunks genuinely overlap on multi-core hosts; outputs are
+        bit-identical either way.
+    """
+
+    def __init__(self, graph: WeightedGraph, oracle: Optional[DistanceOracle] = None,
+                 seed=None, parallel: Optional[int] = None,
+                 spt_chunk: int = DEFAULT_SPT_CHUNK) -> None:
+        self.graph = graph
+        self.oracle = exact_distance_oracle(graph, oracle)
+        self.seed = seed
+        self.parallel = int(parallel) if parallel else 0
+        self.spt_chunk = max(1, int(spt_chunk))
+        self._edge_index: Optional[_EdgeIndex] = None
+
+    def edge_index(self) -> "_EdgeIndex":
+        """Shared sorted-edge-key weight lookup (built once per context)."""
+        if self._edge_index is None:
+            self._edge_index = _EdgeIndex(self.graph)
+        return self._edge_index
+
+    # ------------------------------------------------------------------ #
+    # parallel fan-out
+    # ------------------------------------------------------------------ #
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item, fanning out over worker threads.
+
+        Results come back in input order and every item's work must depend
+        only on the item itself (unit seeds derive from indices), so the
+        parallel result is bit-identical to the serial one.
+        """
+        items = list(items)
+        if self.parallel > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=self.parallel) as pool:
+                return list(pool.map(fn, items))
+        return [fn(item) for item in items]
+
+    # ------------------------------------------------------------------ #
+    # batched shortest-path-tree forests
+    # ------------------------------------------------------------------ #
+    def spt_trees(self, jobs: Sequence[SPTJob]) -> List[Tree]:
+        """Build every requested tree, one kernel call per chunk of roots.
+
+        Jobs are grouped by limit magnitude (unlimited jobs together) so that
+        one chunk's shared limit — the maximum over its jobs — stays close to
+        each job's own reach.  Chunks run through :meth:`map`.  Output order
+        matches input order.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.graph.num_edges == 0:
+            # no edges: every tree is its lone root (same as the scalar path)
+            return [Tree.single_node(int(job.root)) for job in jobs]
+        order = sorted(range(len(jobs)),
+                       key=lambda j: (jobs[j].limit is None,
+                                      jobs[j].limit if jobs[j].limit is not None
+                                      else 0.0, j))
+        chunks = [order[start:start + self.spt_chunk]
+                  for start in range(0, len(order), self.spt_chunk)]
+        csr = self.graph.to_scipy_csr()
+        edge_index = self.edge_index()
+
+        def run_chunk(chunk: List[int]) -> List[Tuple[int, Tree]]:
+            roots = [int(jobs[j].root) for j in chunk]
+            limits = [jobs[j].limit for j in chunk]
+            shared = max(limits) if all(l is not None for l in limits) else None
+            dist, pred = limited_dijkstra(csr, roots, shared, predecessors=True)
+            out = []
+            for local, j in enumerate(chunk):
+                job = jobs[j]
+                out.append((j, tree_from_predecessors(
+                    self.graph, int(job.root), dist[local], pred[local],
+                    members=job.members, edge_index=edge_index)))
+            return out
+
+        trees: List[Optional[Tree]] = [None] * len(jobs)
+        for part in self.map(run_chunk, chunks):
+            for j, tree in part:
+                trees[j] = tree
+        return trees  # type: ignore[return-value]
+
+    def spt_tree(self, root: int, members: Optional[Sequence[int]] = None,
+                 limit: Optional[float] = None) -> Tree:
+        """Single-tree convenience wrapper of :meth:`spt_trees`."""
+        if scalar_build_mode():
+            return shortest_path_tree(self.graph, root, members=members)
+        return self.spt_trees([SPTJob(root, members, limit)])[0]
+
+    # ------------------------------------------------------------------ #
+    # streamed ball tables
+    # ------------------------------------------------------------------ #
+    def ball_csr(self, rho: float,
+                 universe: Optional[Sequence[int]] = None,
+                 allowed_mask: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Balls ``B(v, rho)`` of every universe node as flat CSR arrays.
+
+        Returns ``(indptr, indices)``: ball of the ``p``-th universe node is
+        ``indices[indptr[p]:indptr[p+1]]`` (sorted global node ids,
+        restricted to ``allowed_mask`` when given).  One streamed row-block
+        pass over the oracle — no per-node Python and no O(n²) residency
+        under the lazy backend.
+        """
+        if universe is None:
+            sources = np.arange(self.graph.n, dtype=np.int64)
+        else:
+            sources = np.asarray(list(universe), dtype=np.int64)
+        counts = np.zeros(sources.size, dtype=np.int64)
+        parts: List[np.ndarray] = []
+        block = self.oracle.block_rows()
+        # Under a backend that materializes rows on demand, balls only need
+        # distances up to rho: a radius-limited kernel call per block turns a
+        # small-scale pass into a union of local searches instead of a full
+        # APSP-equivalent sweep.  The dense backend's rows are already paid
+        # for, so it streams them unchanged.
+        limited = self.oracle.backend_name == "lazy" and self.graph.num_edges > 0
+        csr = self.graph.to_scipy_csr() if limited else None
+        for start in range(0, sources.size, block):
+            chunk = sources[start:start + block]
+            if limited:
+                rows = limited_dijkstra(csr, chunk, rho)
+            else:
+                rows = self.oracle.rows(chunk)
+            mask = rows <= rho + 1e-12
+            if allowed_mask is not None:
+                mask &= allowed_mask[np.newaxis, :]
+            local_rows, members = np.nonzero(mask)
+            counts[start:start + chunk.size] = np.bincount(
+                local_rows, minlength=chunk.size)
+            parts.append(members.astype(np.int64))
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        indices = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        return indptr, indices

@@ -68,13 +68,20 @@ class NeighborhoodDecomposition:
         radii = self.d_min * np.power(2.0, np.arange(self.max_exp + 1)) + 1e-12
         self._ball_size_table = np.empty((self.n, self.max_exp + 1), dtype=np.int64)
         for chunk, rows in self.oracle.iter_row_blocks():
-            block = np.sort(np.where(np.isfinite(rows), rows, np.inf), axis=1)
-            for local, u in enumerate(chunk):
-                self._ball_size_table[u] = np.searchsorted(block[local], radii,
-                                                           side="right")
+            # |B(u, r)| per (row, radius) with one vectorized count per
+            # radius — no per-row sort, no per-node Python, and flat
+            # O(block · n) transient memory (inf rows never pass <=)
+            chunk_idx = np.asarray(chunk)
+            for j, radius in enumerate(radii):
+                self._ball_size_table[chunk_idx, j] = (rows <= radius).sum(axis=1)
 
-        # ranges a(u, 0..k+1)
-        self._ranges: List[List[int]] = [self._compute_ranges(u) for u in range(self.n)]
+        # ranges a(u, 0..k+1), all nodes at once (one boolean-matrix argmax
+        # per level instead of n per-node probe loops), plus the dense/sparse
+        # classification table derived from them
+        self._ranges: np.ndarray = self._compute_all_ranges()
+        next_within = self._ranges[:, 1:] <= self._ranges[:, :-1] + self.params.dense_gap
+        self._dense_table: np.ndarray = \
+            (self._ranges[:, :-1] < self._ranges[:, 1:]) & next_within
 
     # ------------------------------------------------------------------ #
     # construction
@@ -90,6 +97,7 @@ class NeighborhoodDecomposition:
         return self.oracle.ball_size(u, self.radius_of_exponent(exponent))
 
     def _compute_ranges(self, u: int) -> List[int]:
+        """Per-node range recursion (the scalar reference of :meth:`_compute_all_ranges`)."""
         sizes = self._ball_size_table[u]
         ranges = [0]
         current_size = 1  # |A(u,0)| = |{u}|
@@ -111,6 +119,31 @@ class NeighborhoodDecomposition:
                 current_size = int(sizes[found])
         return ranges
 
+    def _compute_all_ranges(self) -> np.ndarray:
+        """The range recursion for every node at once.
+
+        Level-synchronous over the ball-size table: one ``(n, max_exp+1)``
+        boolean comparison plus an ``argmax`` per level replaces the per-node
+        probe loops of :meth:`_compute_ranges` (identical results — asserted
+        by the decomposition tests).
+        """
+        sizes = self._ball_size_table
+        exps = np.arange(self.max_exp + 1)
+        ranges = np.zeros((self.n, self.k + 2), dtype=np.int64)
+        current = np.ones(self.n, dtype=np.float64)  # |A(u,0)| = 1
+        for level in range(1, self.k + 2):
+            target = self.growth * current
+            start = np.maximum(ranges[:, level - 1] + 1, 1)
+            valid = (sizes >= target[:, None] - 1e-9) & (exps[None, :] >= start[:, None])
+            has_hit = valid.any(axis=1)
+            first = np.argmax(valid, axis=1)
+            capped = np.maximum(self.top_exp,
+                                ranges[:, level - 1] + self.params.dense_gap + 1)
+            ranges[:, level] = np.where(has_hit, first, capped)
+            current = np.where(has_hit, sizes[np.arange(self.n), first],
+                               sizes[:, self.max_exp]).astype(np.float64)
+        return ranges
+
     # ------------------------------------------------------------------ #
     # Definition 1 accessors
     # ------------------------------------------------------------------ #
@@ -118,12 +151,20 @@ class NeighborhoodDecomposition:
         """``a(u, i)`` for ``0 <= i <= k+1``."""
         check_index(u, self.n, "u")
         require(0 <= i <= self.k + 1, f"level {i} out of range [0, {self.k + 1}]")
-        return self._ranges[u][i]
+        return int(self._ranges[u, i])
 
     def ranges_of(self, u: int) -> List[int]:
         """The full range list ``[a(u,0), ..., a(u,k+1)]``."""
         check_index(u, self.n, "u")
-        return list(self._ranges[u])
+        return [int(a) for a in self._ranges[u]]
+
+    def ranges_table(self) -> np.ndarray:
+        """All ranges as an ``(n, k+2)`` array (read-only; do not mutate)."""
+        return self._ranges
+
+    def dense_table(self) -> np.ndarray:
+        """Dense/sparse classification as an ``(n, k+1)`` bool array (read-only)."""
+        return self._dense_table
 
     def neighborhood_radius(self, u: int, i: int) -> float:
         """Radius of ``A(u, i)`` (0 for level 0)."""
@@ -155,9 +196,7 @@ class NeighborhoodDecomposition:
     def is_dense(self, u: int, i: int) -> bool:
         """Whether level ``i`` is dense for ``u`` (Definition 2)."""
         require(0 <= i <= self.k, f"level {i} out of range [0, {self.k}]")
-        a_i = self.range(u, i)
-        a_next = self.range(u, i + 1)
-        return a_i < a_next <= a_i + self.params.dense_gap
+        return bool(self._dense_table[u, i])
 
     def is_sparse(self, u: int, i: int) -> bool:
         """Whether level ``i`` is sparse for ``u``."""
@@ -203,7 +242,7 @@ class NeighborhoodDecomposition:
     # ------------------------------------------------------------------ #
     def range_set(self, u: int) -> Set[int]:
         """``L(u) = { a(u, i) : i in K }``."""
-        return set(self._ranges[u][: self.k + 1])
+        return set(int(a) for a in self._ranges[u, : self.k + 1])
 
     def extended_range_set(self, u: int) -> Set[int]:
         """``R(u) = { j : exists a in L(u) with -1 <= a - j <= 4 }`` (clipped to >= 0)."""
@@ -216,12 +255,26 @@ class NeighborhoodDecomposition:
         return out
 
     def extended_range_members(self) -> Dict[int, List[int]]:
-        """For every exponent ``j``, the node set ``V_j = { u : j in R(u) }``."""
+        """For every exponent ``j``, the node set ``V_j = { u : j in R(u) }``.
+
+        Vectorized: every ``(node, offset-shifted range)`` pair is generated
+        by broadcasting over the range table, deduplicated, and grouped by
+        exponent with one sort — no per-node Python set construction.
+        """
+        offsets = np.arange(-self.params.extend_above,
+                            self.params.extend_below + 1, dtype=np.int64)
+        exponents = (self._ranges[:, : self.k + 1, None] + offsets).reshape(self.n, -1)
+        nodes = np.broadcast_to(np.arange(self.n, dtype=np.int64)[:, None],
+                                exponents.shape)
+        keep = exponents >= 0
+        pairs = np.unique(np.stack([exponents[keep], nodes[keep]], axis=1), axis=0)
         members: Dict[int, List[int]] = {}
-        for u in range(self.n):
-            for j in self.extended_range_set(u):
-                members.setdefault(j, []).append(u)
-        return {j: sorted(v) for j, v in members.items()}
+        if pairs.size == 0:
+            return members
+        split_at = np.flatnonzero(np.diff(pairs[:, 0])) + 1
+        for group in np.split(pairs, split_at):
+            members[int(group[0, 0])] = [int(u) for u in group[:, 1]]
+        return members
 
     # ------------------------------------------------------------------ #
     # diagnostics

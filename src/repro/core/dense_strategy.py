@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.construction.context import BuildContext
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.params import AGMParams
 from repro.covers.tree_cover import TreeCover, build_tree_cover
@@ -54,6 +57,7 @@ class DenseStrategy:
         params: AGMParams,
         tables: TableCollection,
         seed=None,
+        context: Optional[BuildContext] = None,
     ) -> None:
         self.graph = graph
         self.k = int(k)
@@ -69,12 +73,12 @@ class DenseStrategy:
         #: (u, i) -> exponent a(u, i) for every dense level
         self.exponent_of: Dict[Tuple[int, int], int] = {}
 
-        self._build(seed)
+        self._build(seed, context or BuildContext(graph, oracle=oracle, seed=seed))
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
-    def _build(self, seed) -> None:
+    def _build(self, seed, context: BuildContext) -> None:
         graph, k = self.graph, self.k
 
         # 1. which exponents are the range of some dense level
@@ -91,18 +95,34 @@ class DenseStrategy:
         # 2. the extended-range populations V_j = { v : j in R(v) }
         members = self.decomposition.extended_range_members()
 
-        # 3. one tree cover per needed exponent, built on the induced subgraph G_j
+        # 3. one tree cover per needed exponent, built on the induced subgraph
+        # G_j.  Exponents are independent build units, so they fan out over
+        # the context's workers; seeds derive from the exponent's position in
+        # the sorted order, keeping parallel output bit-identical to serial.
         names = graph.names_view()
-        for count, j in enumerate(sorted(needed)):
+
+        def build_exponent(item):
+            count, j = item
             population = members.get(j, [])
             if not population:
-                continue
+                return j, None, None
             subgraph, mapping = graph.subgraph(population)
-            # automatic backend selection keeps large G_j subgraphs off the
-            # dense matrix just like the top-level graph
-            sub_oracle = exact_distance_oracle(subgraph)
+            # large G_j subgraphs use the lazy backend outright: the cover
+            # build consumes one radius-limited ball pass plus local cluster
+            # trees, so a full subgraph APSP matrix would mostly go unread.
+            # The configured dense-node limit still caps it from below, so a
+            # memory-tight REPRO_DENSE_NODE_LIMIT is honored here too.
+            from repro.graphs.backends import dense_node_limit
+            from repro.graphs.shortest_paths import DistanceOracle
+
+            sub_backend = "lazy" if subgraph.n > min(2048, dense_node_limit()) \
+                else None
+            sub_oracle = exact_distance_oracle(
+                subgraph, DistanceOracle(subgraph, backend=sub_backend))
+            sub_context = BuildContext(subgraph, oracle=sub_oracle, seed=seed)
             rho = self.decomposition.radius_of_exponent(j)
-            cover: TreeCover = build_tree_cover(subgraph, k, rho, oracle=sub_oracle)
+            cover: TreeCover = build_tree_cover(subgraph, k, rho, oracle=sub_oracle,
+                                                context=sub_context)
             routings: List[DictionaryTreeRouting] = []
             for t_index, local_tree in enumerate(cover.trees):
                 global_tree = translate_tree(local_tree, mapping)
@@ -110,15 +130,22 @@ class DenseStrategy:
                 routings.append(DictionaryTreeRouting(
                     global_tree, tree_names, name_bits=self.params.name_bits,
                     seed=derive_rng(seed, 202, count, t_index)))
+            home = {mapping[local]: idx for local, idx in cover.home.items()}
+            return j, routings, home
+
+        for j, routings, home in context.map(build_exponent,
+                                             list(enumerate(sorted(needed)))):
+            if routings is None:
+                continue
             self.covers[j] = routings
-            self.home_index[j] = {mapping[local]: idx for local, idx in cover.home.items()}
+            self.home_index[j] = home
 
         # 4. storage accounting
         idbits = bits_for_id(max(graph.n, 2))
-        for j, routings in self.covers.items():
-            for routing in routings:
-                for v in routing.tree.nodes:
-                    self.tables[v].charge("dense_tree_tables", routing.table_bits(v))
+        self.tables.charge_structures(
+            "dense_tree_tables",
+            ((routing.tree.nodes, routing.table_bits_list())
+             for routings in self.covers.values() for routing in routings))
         exponent_bits = bits_for_count(self.decomposition.top_exp + 1)
         for (u, i), j in self.exponent_of.items():
             # the node records the exponent and the root w(u, i) of its home tree

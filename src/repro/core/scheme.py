@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.dense_strategy import DenseStrategy
 from repro.core.landmarks import LandmarkHierarchy
@@ -52,6 +53,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         params: Optional[AGMParams] = None,
         oracle: Optional[DistanceOracle] = None,
         seed=None,
+        context: Optional[BuildContext] = None,
     ) -> None:
         super().__init__(graph)
         require(k >= 1, f"k must be >= 1, got {k}")
@@ -59,6 +61,7 @@ class AGMRoutingScheme(RoutingSchemeInstance):
         self.params = params or AGMParams.paper()
         self.oracle = exact_distance_oracle(graph, oracle)
         self._build_seed = seed  # kept for rebuild_spec / churn repair
+        context = context or BuildContext(graph, oracle=self.oracle, seed=seed)
 
         self.decomposition = NeighborhoodDecomposition(
             graph, self.k, oracle=self.oracle, params=self.params)
@@ -67,11 +70,11 @@ class AGMRoutingScheme(RoutingSchemeInstance):
             params=self.params, seed=derive_rng(seed, 1))
         self.sparse = SparseStrategy(
             graph, self.k, self.oracle, self.decomposition, self.landmarks,
-            self.params, self.tables, seed=derive_rng(seed, 2))
+            self.params, self.tables, seed=derive_rng(seed, 2), context=context)
         self.dense = DenseStrategy(
             graph, self.k, self.oracle, self.decomposition,
-            self.params, self.tables, seed=derive_rng(seed, 3))
-        self._build_fallback(seed)
+            self.params, self.tables, seed=derive_rng(seed, 3), context=context)
+        self._build_fallback(seed, context)
         self._charge_base_tables()
 
         #: diagnostic counters (per-instance, reset-able)
@@ -81,22 +84,32 @@ class AGMRoutingScheme(RoutingSchemeInstance):
     def build(cls, graph: WeightedGraph, k: int = 2,
               params: Optional[AGMParams] = None,
               oracle: Optional[DistanceOracle] = None,
-              seed=None) -> "AGMRoutingScheme":
+              seed=None,
+              context: Optional[BuildContext] = None) -> "AGMRoutingScheme":
         """Construct the scheme for ``graph`` (alias of the constructor)."""
-        return cls(graph, k=k, params=params, oracle=oracle, seed=seed)
+        return cls(graph, k=k, params=params, oracle=oracle, seed=seed,
+                   context=context)
 
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
-    def _build_fallback(self, seed) -> None:
+    def _build_fallback(self, seed, context: BuildContext) -> None:
         names = self.graph.names_view()
         self._fallback: Dict[int, DictionaryTreeRouting] = {}
         self._fallback_of_node: Dict[int, int] = {}
+        jobs: List[Tuple[int, List[int], int]] = []
         for index, component in enumerate(self.graph.connected_components()):
             root = max(component, key=lambda v: (self.landmarks.rank_of(v), -v))
             if len(component) == 1:
                 continue
-            tree = shortest_path_tree(self.graph, root, members=component)
+            jobs.append((index, component, root))
+        if scalar_build_mode():
+            trees = [shortest_path_tree(self.graph, root, members=component)
+                     for _, component, root in jobs]
+        else:
+            trees = context.spt_trees(
+                [SPTJob(root, component) for _, component, root in jobs])
+        for (index, component, _), tree in zip(jobs, trees):
             tree_names = {v: names[v] for v in tree.nodes}
             routing = DictionaryTreeRouting(tree, tree_names,
                                             name_bits=self.params.name_bits,
@@ -104,8 +117,8 @@ class AGMRoutingScheme(RoutingSchemeInstance):
             self._fallback[index] = routing
             for v in component:
                 self._fallback_of_node[v] = index
-            for v in tree.nodes:
-                self.tables[v].charge("fallback_tables", routing.table_bits(v))
+            for v, bits in zip(tree.nodes, routing.table_bits_list()):
+                self.tables[v].charge("fallback_tables", bits)
 
     def _charge_base_tables(self) -> None:
         exponent_bits = bits_for_count(self.decomposition.top_exp + 1)

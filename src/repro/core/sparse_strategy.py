@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.params import AGMParams
@@ -50,6 +51,7 @@ class SparseStrategy:
         params: AGMParams,
         tables: TableCollection,
         seed=None,
+        context: Optional[BuildContext] = None,
     ) -> None:
         self.graph = graph
         self.k = int(k)
@@ -69,12 +71,139 @@ class SparseStrategy:
         #: center -> Lemma 4 structure on T(center)
         self.trees: Dict[int, NameIndependentTreeRouting] = {}
 
-        self._build(seed)
+        context = context or BuildContext(graph, oracle=oracle, seed=seed)
+        if scalar_build_mode():
+            self._build_scalar(seed)
+        else:
+            self._build(seed, context)
 
     # ------------------------------------------------------------------ #
-    # construction
+    # construction (vectorized)
     # ------------------------------------------------------------------ #
-    def _build(self, seed) -> None:
+    def _build(self, seed, context: BuildContext) -> None:
+        """Array-native build: every per-(node, level) loop of the scalar path
+        becomes one masked-matrix operation per streamed row block, and the
+        center trees grow as one batched SPT forest."""
+        graph, k = self.graph, self.k
+        n = graph.n
+        decomposition, landmarks = self.decomposition, self.landmarks
+        ranges = decomposition.ranges_table()
+        dense_tbl = decomposition.dense_table()
+        rank = landmarks._rank_array
+        level_arrays = landmarks._level_arrays
+        d_min = decomposition.d_min
+
+        # 1 + 2 in one streamed pass over the rows: the centers c(u, i) of
+        # every sparse level (highest rank in A(u, i), then nearest member of
+        # that rank class) and the nearby-landmark memberships c in S(v)
+        # (top-``nearby_count`` of each level by (distance, id), realized by
+        # one stable argsort per row block).
+        nearby = landmarks.nearby_count
+        served_v_parts: List[np.ndarray] = []
+        served_c_parts: List[np.ndarray] = []
+        served_d_parts: List[np.ndarray] = []
+        for chunk, rows in self.oracle.iter_row_blocks():
+            chunk_arr = np.asarray(chunk, dtype=np.int64)
+            for i in range(k + 1):
+                sel = np.flatnonzero(~dense_tbl[chunk_arr, i])
+                if sel.size:
+                    us = chunk_arr[sel]
+                    if i == 0:
+                        m_vals = rank[us]
+                    else:
+                        radii = d_min * np.power(2.0, ranges[us, i].astype(float))
+                        mask = rows[sel] <= radii[:, None] + 1e-12
+                        m_vals = np.where(mask, rank[None, :], -1).max(axis=1)
+                    for m in np.unique(m_vals):
+                        grp = sel[m_vals == m]
+                        members = level_arrays[int(m)]
+                        require(members.size > 0,
+                                f"no member of C_{int(m)} exists")
+                        dists = rows[grp][:, members]
+                        best = np.argmin(dists, axis=1)
+                        found = dists[np.arange(grp.size), best]
+                        require(bool(np.isfinite(found).all()),
+                                f"no reachable member of C_{int(m)}")
+                        for u, c in zip(chunk_arr[grp].tolist(),
+                                        members[best].tolist()):
+                            self.center_of[(u, i)] = int(c)
+            for i in range(k + 1):
+                members = level_arrays[i]
+                if members.size == 0:
+                    continue
+                dists = rows[:, members]
+                top = np.argsort(dists, axis=1, kind="stable")[:, :nearby]
+                dvals = np.take_along_axis(dists, top, axis=1)
+                ids = members[top]
+                ok = np.isfinite(dvals)
+                rr, cc = np.nonzero(ok)
+                served_v_parts.append(chunk_arr[rr])
+                served_c_parts.append(ids[rr, cc])
+                served_d_parts.append(dvals[rr, cc])
+        used_centers = sorted({c for c in self.center_of.values()})
+        used_mask = np.zeros(n, dtype=bool)
+        used_mask[used_centers] = True
+
+        served_v = np.concatenate(served_v_parts) if served_v_parts \
+            else np.zeros(0, dtype=np.int64)
+        served_c = np.concatenate(served_c_parts) if served_c_parts \
+            else np.zeros(0, dtype=np.int64)
+        served_d = np.concatenate(served_d_parts) if served_d_parts \
+            else np.zeros(0)
+        keep = used_mask[served_c]
+        served_v, served_c, served_d = served_v[keep], served_c[keep], served_d[keep]
+
+        # 3. build T(c) for every used center as one batched SPT forest; each
+        # job's limit is its farthest served node, so low-rank center trees
+        # are local searches
+        members_of: Dict[int, Set[int]] = {c: {c} for c in used_centers}
+        limit_of: Dict[int, float] = {c: 0.0 for c in used_centers}
+        for v, c, d in zip(served_v.tolist(), served_c.tolist(), served_d.tolist()):
+            members_of[c].add(v)
+            if d > limit_of[c]:
+                limit_of[c] = float(d)
+        jobs = [SPTJob(c, sorted(members_of[c]), limit_of[c]) for c in used_centers]
+        names = graph.names_view()
+        for index, (c, tree) in enumerate(zip(used_centers,
+                                              context.spt_trees(jobs))):
+            tree_names = {v: names[v] for v in tree.nodes}
+            self.trees[c] = NameIndependentTreeRouting(
+                tree, tree_names, k=k, sigma=self.sigma,
+                name_bits=self.params.name_bits,
+                seed=derive_rng(seed, 101, index),
+            )
+
+        # 4. search bounds b(u, i): one row fetch per *u-sorted* block (each
+        # row is fetched once no matter how many levels/centers reference it),
+        # with per-center (tree nodes, digits) arrays cached so the E-ball max
+        # is a small gather per key instead of an n-sized vector per center
+        shrink = self.params.sparse_shrink
+        tree_nodes_of: Dict[int, np.ndarray] = {}
+        digits_of: Dict[int, np.ndarray] = {}
+        for c, routing in self.trees.items():
+            nodes_arr = np.asarray(routing.tree.nodes, dtype=np.int64)
+            tree_nodes_of[c] = nodes_arr
+            digits_of[c] = np.asarray(
+                [max(routing.digits_of(v), 1) for v in routing.tree.nodes],
+                dtype=np.int64)
+        all_keys = sorted(self.center_of)
+        for chunk in self.oracle.iter_prefetched_chunks(all_keys,
+                                                        source=lambda key: key[0]):
+            for u, i in chunk:
+                c = self.center_of[(u, i)]
+                row = self.oracle.row(u)
+                radius = d_min * (2.0 ** float(ranges[u, i + 1])) / shrink
+                nodes_arr = tree_nodes_of[c]
+                within = row[nodes_arr] <= radius + 1e-12
+                bound = int(digits_of[c][within].max(initial=0))
+                self.bound_of[(u, i)] = max(bound, 1)
+
+        self._charge_tables()
+
+    # ------------------------------------------------------------------ #
+    # construction (scalar reference, REPRO_BUILD_MODE=scalar)
+    # ------------------------------------------------------------------ #
+    def _build_scalar(self, seed) -> None:
         graph, k = self.graph, self.k
         # 1. centers actually used by some (node, sparse level) pair
         used_centers: Set[int] = set()
@@ -125,11 +254,14 @@ class SparseStrategy:
                     bound = int(vector[ball].max(initial=0)) if ball.size else 0
                     self.bound_of[(u, i)] = max(bound, 1)
 
+        self._charge_tables()
+
+    def _charge_tables(self) -> None:
         # 5. storage accounting
-        idbits = bits_for_id(max(graph.n, 2))
-        for c, routing in self.trees.items():
-            for v in routing.tree.nodes:
-                self.tables[v].charge("sparse_tree_tables", routing.table_bits(v))
+        idbits = bits_for_id(max(self.graph.n, 2))
+        self.tables.charge_structures(
+            "sparse_tree_tables",
+            ((r.tree.nodes, r.table_bits_list()) for r in self.trees.values()))
         for (u, i), c in self.center_of.items():
             level_bits = idbits + bits_for_count(max(routing_max_digits(self.trees[c]), 1))
             self.tables[u].charge("sparse_level_pointers", level_bits)

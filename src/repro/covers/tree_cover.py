@@ -7,6 +7,14 @@ to connect a cluster, and the restriction is what gives Lemma 6's
 "small edges" property).  The cover keeps, for every node ``v``, the index of
 the tree that contains its whole ball ``B(v, rho)`` — the tree ``W(v)`` the
 dense routing strategy climbs.
+
+Cluster trees are built in batches: each chunk of clusters is assembled into
+one block-diagonal CSR matrix (every cluster its own relabeled block, heavy
+edges filtered out) and a single multi-source Dijkstra call — one source per
+block — grows every tree of the chunk at once.  A cluster whose restricted
+subgraph leaves some member unreachable falls back to its unrestricted
+induced subgraph, exactly like the scalar path (``REPRO_BUILD_MODE=scalar``
+keeps the original per-cluster Python-heap Dijkstra for the parity tests).
 """
 
 from __future__ import annotations
@@ -14,11 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+from repro.construction.context import BuildContext, scalar_build_mode
 from repro.covers.sparse_cover import SparseCover, build_sparse_cover
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.graphs.trees import Tree
 from repro.utils.validation import require
+
+#: clusters per block-diagonal kernel call
+CLUSTER_CHUNK = 64
 
 
 @dataclass
@@ -68,7 +84,11 @@ class TreeCover:
 
 def _cluster_tree(graph: WeightedGraph, center: int, nodes: Sequence[int],
                   rho: float) -> Tree:
-    """Shortest-path tree of the cluster, using only edges of weight <= 2 rho."""
+    """Shortest-path tree of the cluster, using only edges of weight <= 2 rho.
+
+    The scalar reference implementation (one Python-heap Dijkstra per
+    cluster); the default batched path is :func:`_cluster_trees_batched`.
+    """
     members = sorted(set(int(v) for v in nodes))
     if len(members) == 1:
         return Tree.single_node(members[0])
@@ -76,7 +96,6 @@ def _cluster_tree(graph: WeightedGraph, center: int, nodes: Sequence[int],
 
     # Restricted Dijkstra inside the cluster, ignoring heavy edges.
     import heapq
-    import numpy as np
 
     dist = {v: float("inf") for v in members}
     parent: Dict[int, int] = {}
@@ -114,18 +133,122 @@ def _cluster_tree(graph: WeightedGraph, center: int, nodes: Sequence[int],
     return Tree(root=center, parent=parent, edge_weight=weight)
 
 
+def _tree_from_local(members: np.ndarray, local_root: int,
+                     pred: np.ndarray, edge_index) -> Tree:
+    """Translate one block's local predecessor row into a global Tree.
+
+    Weights come from the context's shared sorted-edge-key lookup (the
+    restricted subgraph keeps original weights for every surviving edge).
+    """
+    local_children = np.flatnonzero(pred >= 0)
+    if local_children.size == 0:
+        return Tree.single_node(int(members[local_root]))
+    local_parents = pred[local_children]
+    children = members[local_children]
+    parents = members[local_parents]
+    weights = edge_index.weights(parents, children)
+    return Tree(root=int(members[local_root]),
+                parent=dict(zip(children.tolist(), parents.tolist())),
+                edge_weight=dict(zip(children.tolist(), weights.tolist())))
+
+
+def _cluster_trees_batched(graph: WeightedGraph, cover: SparseCover,
+                           rho: float,
+                           context: Optional[BuildContext] = None) -> List[Tree]:
+    """Grow every cluster tree of ``cover``, one kernel call per cluster chunk."""
+    from repro.construction.context import _EdgeIndex
+
+    csr = graph.to_scipy_csr()
+    weight_index = context.edge_index() if context is not None else _EdgeIndex(graph)
+    jobs = []  # (cluster_index, members array, local root)
+    trees: List[Optional[Tree]] = [None] * len(cover.clusters)
+    for cluster in cover.clusters:
+        members = np.asarray(sorted(cluster.nodes), dtype=np.int64)
+        if members.size == 1:
+            trees[cluster.index] = Tree.single_node(int(members[0]))
+            continue
+        local_root = int(np.searchsorted(members, cluster.center))
+        jobs.append((cluster.index, members, local_root))
+
+    def run_chunk(chunk) -> List[tuple]:
+        # manual induced-submatrix assembly: row-slice the global CSR, then
+        # keep columns inside the cluster and edges within 2 rho in one mask —
+        # no SciPy column fancy-indexing (which argsorts per cluster)
+        col_map = np.full(graph.n, -1, dtype=np.int64)
+        blocks = []
+        sources = []
+        offset = 0
+        for _, members, local_root in chunk:
+            m = members.size
+            rsel = csr[members]
+            col_map[members] = np.arange(m)
+            local_cols = col_map[rsel.indices]
+            keep = (local_cols >= 0) & (rsel.data <= 2.0 * rho + 1e-12)
+            row_of = np.repeat(np.arange(m), np.diff(rsel.indptr))
+            indptr = np.concatenate(
+                ([0], np.cumsum(np.bincount(row_of[keep], minlength=m))))
+            sub = sp.csr_matrix(
+                (rsel.data[keep], local_cols[keep], indptr), shape=(m, m))
+            col_map[members] = -1
+            blocks.append(sub)
+            sources.append(offset + local_root)
+            offset += m
+        combined = sp.block_diag(blocks, format="csr")
+        dist, pred = _scipy_dijkstra(combined, directed=False, indices=sources,
+                                     return_predecessors=True)
+        dist = np.atleast_2d(dist)
+        pred = np.atleast_2d(pred)
+        out = []
+        offset = 0
+        for row, (index, members, local_root) in enumerate(chunk):
+            span = slice(offset, offset + members.size)
+            local_dist = dist[row, span]
+            local_pred = np.where(pred[row, span] < 0, -1,
+                                  pred[row, span] - offset).astype(np.int64)
+            if np.isfinite(local_dist).all():
+                tree = _tree_from_local(members, local_root, local_pred,
+                                        weight_index)
+            else:
+                # unreachable under the 2 rho restriction: fall back to the
+                # unrestricted induced subgraph (same rule as the scalar path)
+                sub = csr[members][:, members]
+                d2, p2 = _scipy_dijkstra(sub, directed=False,
+                                         indices=local_root,
+                                         return_predecessors=True)
+                local_pred = np.where(p2 < 0, -1, p2).astype(np.int64)
+                tree = _tree_from_local(members, local_root, local_pred,
+                                        weight_index)
+            out.append((index, tree))
+            offset += members.size
+        return out
+
+    chunks = [jobs[start:start + CLUSTER_CHUNK]
+              for start in range(0, len(jobs), CLUSTER_CHUNK)]
+    mapper = context.map if context is not None else (
+        lambda fn, items: [fn(item) for item in items])
+    for part in mapper(run_chunk, chunks):
+        for index, tree in part:
+            trees[index] = tree
+    return trees  # type: ignore[return-value]
+
+
 def build_tree_cover(
     graph: WeightedGraph,
     k: int,
     rho: float,
     oracle: Optional[DistanceOracle] = None,
     nodes: Optional[Sequence[int]] = None,
+    context: Optional[BuildContext] = None,
 ) -> TreeCover:
     """Build ``TC_{k,rho}`` of ``graph`` (or of the induced subgraph on ``nodes``)."""
     require(k >= 1, f"k must be >= 1, got {k}")
-    oracle = exact_distance_oracle(graph, oracle)
-    cover: SparseCover = build_sparse_cover(graph, k, rho, oracle=oracle, nodes=nodes)
-    trees: List[Tree] = []
-    for cluster in cover.clusters:
-        trees.append(_cluster_tree(graph, cluster.center, sorted(cluster.nodes), rho))
+    if context is None:
+        context = BuildContext(graph, oracle=exact_distance_oracle(graph, oracle))
+    cover: SparseCover = build_sparse_cover(graph, k, rho, oracle=context.oracle,
+                                            nodes=nodes, context=context)
+    if scalar_build_mode():
+        trees = [_cluster_tree(graph, cluster.center, sorted(cluster.nodes), rho)
+                 for cluster in cover.clusters]
+    else:
+        trees = _cluster_trees_batched(graph, cover, rho, context=context)
     return TreeCover(k=k, rho=rho, trees=trees, home=dict(cover.home))

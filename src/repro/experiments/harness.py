@@ -5,6 +5,14 @@
 (and therefore its backend's row cache), scheme construction and evaluation
 are per-cell and independent, and the result rows come back in the same
 deterministic order as the serial loop.
+
+``build_matrix`` is the construction sibling: it builds every (scheme, graph,
+k) cell — no routing evaluation — timing preprocessing only.  Cells fan out
+over worker threads and, inside each cell, the scheme's
+:class:`~repro.construction.context.BuildContext` fans independent build
+units (scales, cluster-tree chunks, cover exponents) over the same worker
+budget.  Unit seeds always derive from unit indices, so parallel builds are
+bit-identical to serial ones (asserted by ``tests/test_build_pipeline.py``).
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.construction.context import BuildContext
 from repro.factory import build_scheme
 from repro.graphs.backends import BackendLike
 from repro.graphs.graph import WeightedGraph
@@ -158,4 +167,97 @@ def run_matrix(
                                          oracle, summary))
     for row in rows:
         result.add_row(**row)
+    return result
+
+
+def build_matrix(
+    name: str,
+    schemes: Sequence[str],
+    graphs: Sequence[tuple],
+    ks: Sequence[int],
+    seed: int = 0,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    parallel: Optional[int] = None,
+    backend: BackendLike = None,
+    keep_instances: bool = False,
+) -> ExperimentResult:
+    """Build every (scheme, graph, k) combination, timing construction only.
+
+    The construction sibling of :func:`run_matrix`.  Cells of one graph share
+    that graph's distance oracle; each cell builds through a
+    :class:`BuildContext` carrying the ``parallel`` worker budget, so
+    independent scales / cluster chunks / cover exponents inside one scheme
+    fan out too.  Per-unit seeds derive from unit indices, never from
+    execution order — parallel builds are bit-identical to serial ones.
+
+    Parameters
+    ----------
+    graphs:
+        Sequence of ``(graph_label, WeightedGraph)`` pairs.
+    scheme_kwargs:
+        Optional per-scheme extra constructor arguments.
+    parallel:
+        Worker threads for the cell fan-out and the within-cell unit fan-out
+        (``None``/``0``/``1`` = fully serial).
+    backend:
+        Distance-backend spec for each graph's shared oracle (``None`` = the
+        scheme's own automatic selection by graph size).
+    keep_instances:
+        When true, the built scheme instances are returned in
+        ``result.metadata["instances"]`` keyed by ``(graph_label, scheme, k)``.
+
+    Returns
+    -------
+    ExperimentResult with one row per cell: ``build_seconds`` plus the
+    instance's headline space/header facts.
+    """
+    result = ExperimentResult(name=name)
+    graphs = list(graphs)
+    instances: Dict[tuple, object] = {}
+    # one worker budget: when the cells themselves fan out, each cell builds
+    # serially inside (otherwise parallel cells × parallel units would spawn
+    # up to parallel² threads)
+    fan_cells = bool(parallel and parallel > 1
+                     and len(graphs) * len(ks) * len(schemes) > 1)
+    inner_parallel = None if fan_cells else parallel
+
+    def build_cell(cell):
+        graph_label, graph, k, scheme_name, oracle = cell
+        kwargs = dict((scheme_kwargs or {}).get(scheme_name, {}))
+        context = BuildContext(graph, oracle=oracle, seed=seed,
+                               parallel=inner_parallel)
+        start = time.perf_counter()
+        scheme = build_scheme(scheme_name, graph, k=k, seed=seed, oracle=oracle,
+                              context=context, **kwargs)
+        build_seconds = time.perf_counter() - start
+        row = {
+            "graph": graph_label,
+            "scheme": scheme_name,
+            "k": k,
+            "n": graph.n,
+            "m": graph.num_edges,
+            "build_seconds": build_seconds,
+            "max_table_bits": scheme.max_table_bits(),
+            "avg_table_bits": scheme.avg_table_bits(),
+            "header_bits": scheme.header_bits(),
+        }
+        return row, scheme
+
+    oracles = {id(graph): DistanceOracle(graph, backend=backend)
+               for _, graph in graphs}
+    cells = [(label, graph, k, scheme_name, oracles[id(graph)])
+             for label, graph in graphs
+             for k in ks
+             for scheme_name in schemes]
+    if fan_cells:
+        with ThreadPoolExecutor(max_workers=int(parallel)) as pool:
+            built = list(pool.map(build_cell, cells))
+    else:
+        built = [build_cell(cell) for cell in cells]
+    for cell, (row, scheme) in zip(cells, built):
+        result.add_row(**row)
+        if keep_instances:
+            instances[(cell[0], cell[3], cell[2])] = scheme
+    if keep_instances:
+        result.metadata["instances"] = instances
     return result

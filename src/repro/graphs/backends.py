@@ -35,8 +35,12 @@ import numpy as np
 from repro.graphs.graph import WeightedGraph
 from repro.utils.validation import check_index, require
 
-#: default node count up to which the automatic selection picks the dense matrix
-DEFAULT_DENSE_NODE_LIMIT = 2048
+#: default node count up to which the automatic selection picks the dense
+#: matrix.  At the limit the matrix plus its order cache cost ~1 GB — the
+#: right trade on anything server-class, and an order of magnitude faster for
+#: whole-metric construction passes than recomputing rows per pass.  Hosts
+#: with tighter memory lower it via REPRO_DENSE_NODE_LIMIT.
+DEFAULT_DENSE_NODE_LIMIT = 8192
 #: default LRU capacity (rows) of the lazy backend
 DEFAULT_CACHE_ROWS = 256
 #: chunk size (sources per SciPy call) for streaming passes
@@ -170,6 +174,7 @@ class DenseAPSPBackend(DistanceBackend):
         super().__init__(graph)
         self._matrix: Optional[np.ndarray] = None
         self._order: Optional[np.ndarray] = None
+        self._order_rows: Dict[int, np.ndarray] = {}
         if matrix is not None:
             matrix = np.asarray(matrix, dtype=float)
             require(matrix.shape == (graph.n, graph.n),
@@ -183,16 +188,23 @@ class DenseAPSPBackend(DistanceBackend):
             from repro.graphs.shortest_paths import all_pairs_distances
 
             self._matrix = all_pairs_distances(self.graph)
+
+    def _ensure_order(self) -> None:
+        # computed on first order() query: whole-matrix consumers (ball
+        # tables, cover construction) never need it, and the n² log n argsort
+        # rivals the APSP itself in cost
         if self._order is None:
             # argsort is stable for equal keys, so sorting by distance with
             # node index as the implicit secondary key realizes the
             # lexicographic tie-break of Definition N(u, m, Z).
-            self._order = np.argsort(self._matrix, axis=1, kind="stable")
+            self._order = np.argsort(self.matrix, axis=1, kind="stable")
+            self._order_rows.clear()  # per-row cache now duplicates _order
 
     def invalidate(self) -> None:
         super().invalidate()
         self._matrix = None
         self._order = None
+        self._order_rows.clear()
 
     @property
     def matrix(self) -> np.ndarray:
@@ -209,8 +221,20 @@ class DenseAPSPBackend(DistanceBackend):
 
     def order(self, u: int) -> np.ndarray:
         self._sync()
-        self._ensure()
-        return self._order[u]
+        if self._order is not None:
+            return self._order[u]
+        # a few callers (e.g. per-landmark nearest sets) only ever order a
+        # handful of rows; argsort those individually and escalate to the
+        # full-matrix order only when demand shows it pays for itself
+        cached = self._order_rows.get(u)
+        if cached is not None:
+            return cached
+        if len(self._order_rows) * 8 >= self.n:
+            self._ensure_order()
+            return self._order[u]
+        row_order = np.argsort(self.matrix[u], kind="stable")
+        self._order_rows[u] = row_order
+        return row_order
 
     def dist(self, u: int, v: int) -> float:
         return float(self.matrix[u, v])
@@ -225,7 +249,10 @@ class DenseAPSPBackend(DistanceBackend):
 
     def nbytes(self) -> int:
         self._ensure()
-        return int(self._matrix.nbytes + self._order.nbytes)
+        total = int(self._matrix.nbytes)
+        if self._order is not None:
+            total += int(self._order.nbytes)
+        return total
 
 
 class LazyDijkstraBackend(DistanceBackend):

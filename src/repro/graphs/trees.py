@@ -16,6 +16,27 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.utils.validation import require
 
 
+class TreeSlotArrays:
+    """Per-tree compiled slot arrays (``slot = DFS-in number``).
+
+    Assembled during :meth:`Tree._compute_dfs` so that
+    :meth:`repro.routing.forwarding.TreeBank.freeze` finds every tree's local
+    compilation already cached — the bank's global assembly is then pure
+    vectorized offset arithmetic with no intermediate dict pass.  Attribute
+    layout matches what ``freeze`` consumes (``_TreeSlots`` duck type).
+    """
+
+    __slots__ = ("size", "node_of_slot", "dfs_out", "parent_local")
+
+    def __init__(self, size: int) -> None:
+        import numpy as np
+
+        self.size = size
+        self.node_of_slot = np.empty(size, dtype=np.int64)
+        self.dfs_out = np.empty(size, dtype=np.int64)
+        self.parent_local = np.full(size, -1, dtype=np.int64)
+
+
 class Tree:
     """A rooted weighted tree over (a subset of) graph node indices.
 
@@ -37,16 +58,16 @@ class Tree:
         edge_weight: Dict[int, float],
     ) -> None:
         require(root not in parent, "the root cannot have a parent")
-        for child in parent:
-            require(child in edge_weight, f"missing edge weight for child {child}")
-            require(edge_weight[child] > 0, "tree edge weights must be positive")
-        self.root = int(root)
         self.parent: Dict[int, int] = {int(c): int(p) for c, p in parent.items()}
         self.edge_weight: Dict[int, float] = {int(c): float(w) for c, w in edge_weight.items()}
+        require(self.parent.keys() == self.edge_weight.keys(),
+                "every child needs exactly one edge weight")
+        require(not self.edge_weight or min(self.edge_weight.values()) > 0,
+                "tree edge weights must be positive")
+        self.root = int(root)
 
-        self.nodes: List[int] = sorted(set(self.parent) | set(self.parent.values()) | {self.root})
-        for child, par in self.parent.items():
-            require(par in set(self.nodes), f"parent {par} of {child} is not a tree node")
+        node_set = set(self.parent) | set(self.parent.values()) | {self.root}
+        self.nodes: List[int] = sorted(node_set)
         self.index: Dict[int, int] = {v: i for i, v in enumerate(self.nodes)}
         self.size = len(self.nodes)
 
@@ -64,15 +85,16 @@ class Tree:
     # construction-time computations
     # ------------------------------------------------------------------ #
     def _validate_connected(self) -> None:
-        seen = {self.root}
+        # every non-root node has exactly one parent edge, so reaching all
+        # ``size`` nodes from the root rules out both cycles and disconnection
+        reached = 1
         stack = [self.root]
+        children = self.children
         while stack:
-            u = stack.pop()
-            for c in self.children[u]:
-                require(c not in seen, f"cycle detected at node {c}")
-                seen.add(c)
-                stack.append(c)
-        require(len(seen) == self.size, "tree is not connected to its root")
+            kids = children[stack.pop()]
+            reached += len(kids)
+            stack.extend(kids)
+        require(reached == self.size, "tree is not connected to its root")
 
     def _compute_depths(self) -> None:
         self.depth: Dict[int, float] = {self.root: 0.0}
@@ -86,10 +108,17 @@ class Tree:
                 stack.append(c)
 
     def _compute_dfs(self) -> None:
-        """Iterative DFS assigning pre/post intervals and subtree sizes."""
+        """Iterative DFS assigning pre/post intervals and subtree sizes.
+
+        The same pass fills :class:`TreeSlotArrays` (cached as
+        ``_forwarding_slots``), so compiling this tree into a
+        :class:`~repro.routing.forwarding.TreeBank` later needs no further
+        per-node Python work.
+        """
         self.dfs_in: Dict[int, int] = {}
         self.dfs_out: Dict[int, int] = {}
         self.subtree_size: Dict[int, int] = {}
+        slots = TreeSlotArrays(self.size)
         counter = 0
         stack: List[Tuple[int, bool]] = [(self.root, False)]
         while stack:
@@ -102,12 +131,18 @@ class Tree:
                     size += self.subtree_size[c]
                 self.dfs_out[node] = last
                 self.subtree_size[node] = size
+                slots.dfs_out[self.dfs_in[node]] = last
             else:
                 self.dfs_in[node] = counter
+                slots.node_of_slot[counter] = node
+                parent = self.parent.get(node)
+                if parent is not None:
+                    slots.parent_local[counter] = self.dfs_in[parent]
                 counter += 1
                 stack.append((node, True))
                 for c in reversed(self.children[node]):
                     stack.append((c, False))
+        self._forwarding_slots = slots
 
     # ------------------------------------------------------------------ #
     # structural queries

@@ -339,6 +339,22 @@ class NextHopTable:
         return cls(n, np.asarray(keys, dtype=np.int64),
                    np.asarray(hops, dtype=np.int64))
 
+    @classmethod
+    def from_arrays(cls, n: int, nodes: np.ndarray, destinations: np.ndarray,
+                    next_hops: np.ndarray) -> "NextHopTable":
+        """Compile parallel ``(node, destination, next_hop)`` index arrays.
+
+        The array-native sibling of :meth:`from_name_dicts` used by the
+        vectorized constructors: whole table columns arrive as index arrays
+        straight from batched Dijkstra output, so no per-entry Python runs.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        require(nodes.shape == destinations.shape,
+                "nodes and destinations must have equal length")
+        return cls(n, nodes * int(n) + destinations,
+                   np.asarray(next_hops, dtype=np.int64))
+
     @property
     def num_entries(self) -> int:
         return int(self._keys.size)
@@ -352,6 +368,10 @@ class NextHopTable:
     def next_hops(self) -> np.ndarray:
         """Next hops parallel to :attr:`keys` (read-only; do not mutate)."""
         return self._next
+
+    def entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, next_hops)`` in one call (repair-pass convenience)."""
+        return self._keys, self._next
 
     def replace_destinations(self, destinations: Sequence[int],
                              keys: np.ndarray, next_hops: np.ndarray) -> int:
@@ -392,6 +412,101 @@ class NextHopTable:
         pos = np.searchsorted(self._keys, keys)
         pos_c = np.minimum(pos, self._keys.size - 1)
         return np.where(self._keys[pos_c] == keys, self._next[pos_c], -1)
+
+    def lookup_one(self, node: int, destination: int) -> int:
+        """Scalar lookup (``-1`` when absent) for scheme-side hop-by-hop walks."""
+        if self._keys.size == 0:
+            return -1
+        key = int(node) * self.n + int(destination)
+        pos = int(np.searchsorted(self._keys, key))
+        if pos < self._keys.size and int(self._keys[pos]) == key:
+            return int(self._next[pos])
+        return -1
+
+    def entries_per_node(self) -> np.ndarray:
+        """Number of stored entries per node (space-accounting helper)."""
+        if self._keys.size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return np.bincount(self._keys // self.n, minlength=self.n)
+
+
+class DenseNextHopTable:
+    """Full per-(node, destination) next hops as one ``(n, n)`` int32 matrix.
+
+    The stretch-1 shortest-path scheme stores a next hop for *every* ordered
+    pair; the sorted-key representation would spend 16 bytes per entry on
+    keys alone.  This variant keeps the matrix directly (``-1`` marks absent
+    entries), which is the minimal full-table representation — 4 bytes per
+    pair — and shares the same batch interface as :class:`NextHopTable`, so
+    the lockstep engine and the churn-repair path are agnostic to which one a
+    scheme compiled.  ``keys`` / ``next_hops`` materialize the sorted-key
+    view on demand (row-major order of a matrix *is* key order); they are
+    meant for repair passes at churn scale, not for ``n = 20000`` hot loops.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        require(matrix.ndim == 2 and matrix.shape[0] == matrix.shape[1],
+                "dense next-hop matrix must be square")
+        self.n = int(matrix.shape[0])
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying ``(n, n)`` next-hop matrix (shared, mutable)."""
+        return self._matrix
+
+    @property
+    def num_entries(self) -> int:
+        return int(np.count_nonzero(self._matrix >= 0))
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Sorted ``node * n + destination`` keys (materialized on demand)."""
+        return np.flatnonzero(self._matrix.ravel() >= 0).astype(np.int64)
+
+    @property
+    def next_hops(self) -> np.ndarray:
+        """Next hops parallel to :attr:`keys` (materialized on demand)."""
+        flat = self._matrix.ravel()
+        return flat[flat >= 0].astype(np.int64)
+
+    def entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keys, next_hops)`` with one matrix scan instead of two."""
+        flat = self._matrix.ravel()
+        mask = flat >= 0
+        return (np.flatnonzero(mask).astype(np.int64),
+                flat[mask].astype(np.int64))
+
+    def replace_destinations(self, destinations: Sequence[int],
+                             keys: np.ndarray, next_hops: np.ndarray) -> int:
+        """Swap out every column in ``destinations`` (see :class:`NextHopTable`)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        next_hops = np.asarray(next_hops, dtype=np.int64)
+        require(keys.shape == next_hops.shape,
+                "replacement keys and next hops must have equal length")
+        dirty = np.asarray(list(destinations), dtype=np.int64)
+        if keys.size:
+            dirty_mask = np.zeros(self.n, dtype=bool)
+            dirty_mask[dirty] = True
+            require(bool(dirty_mask[keys % self.n].all()),
+                    "replacement rows must target the replaced destinations")
+        self._matrix[:, dirty] = -1
+        if keys.size:
+            self._matrix[keys // self.n, keys % self.n] = next_hops
+        return int(keys.size)
+
+    def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+        """Next hop of each ``(node, destination)`` pair; ``-1`` when absent."""
+        return self._matrix[np.asarray(nodes, dtype=np.int64),
+                            np.asarray(destinations, dtype=np.int64)].astype(np.int64)
+
+    def lookup_one(self, node: int, destination: int) -> int:
+        """Scalar lookup (``-1`` when absent)."""
+        return int(self._matrix[int(node), int(destination)])
+
+    def entries_per_node(self) -> np.ndarray:
+        """Number of stored entries per node (space-accounting helper)."""
+        return (self._matrix >= 0).sum(axis=1, dtype=np.int64)
 
 
 class ForwardingProgram:

@@ -80,6 +80,34 @@ class TableCollection:
         """Size of one node's table."""
         return self.tables[node].size_bits()
 
+    def charge_accumulated(self, category: str, bits_per_node) -> None:
+        """Charge ``bits_per_node[v]`` to every node with a nonzero entry.
+
+        The bulk sibling of per-node ``charge`` used by construction-time
+        accounting: schemes accumulate a whole category (e.g. all cluster
+        trees) into one integer array and issue ``O(n)`` charges instead of
+        one per (structure, node) pair.  Totals and breakdowns are identical
+        to the per-entry path.
+        """
+        for v, bits in enumerate(bits_per_node):
+            if bits:
+                self.tables[v].charge(category, int(bits))
+
+    def charge_structures(self, category: str, structures) -> None:
+        """Accumulate ``(nodes, bits)`` pairs into one charge per node.
+
+        ``structures`` yields, per routing structure (tree), its node list
+        and the parallel per-node bit list (e.g. ``table_bits_list()``); the
+        whole category lands through :meth:`charge_accumulated` in one pass.
+        """
+        import numpy as np
+
+        accum = np.zeros(len(self.tables), dtype=np.int64)
+        for nodes, bits in structures:
+            np.add.at(accum, np.asarray(nodes, dtype=np.int64),
+                      np.asarray(bits, dtype=np.int64))
+        self.charge_accumulated(category, accum)
+
     def max_bits(self) -> int:
         """Largest table (the quantity the paper's bound is about)."""
         return max(t.size_bits() for t in self.tables)

@@ -55,6 +55,22 @@ class TreeLabel:
         return idbits + len(self.light_edges) * 2 * idbits
 
 
+class _HeavyChildren:
+    """Read-only ``{node: [heavy children]}`` view, materialized per lookup.
+
+    Keeps the historical ``routing.heavy_children[v]`` access working while
+    the heavy classification itself lives in one boolean slot array.
+    """
+
+    __slots__ = ("_routing",)
+
+    def __init__(self, routing: "CompactTreeRouting") -> None:
+        self._routing = routing
+
+    def __getitem__(self, v: int) -> List[int]:
+        return self._routing._heavy_children_of(v)
+
+
 class CompactTreeRouting:
     """Lemma 5 routing structure for one rooted tree.
 
@@ -74,83 +90,120 @@ class CompactTreeRouting:
         self.m = tree.size
         self.b = max(2, int(math.ceil(self.m ** (1.0 / self.k)))) if self.m > 1 else 1
 
-        # port numbering: position in the sorted tree-neighbor list
+        # Heavy classification straight from the tree's slot arrays:
+        # slot = DFS-in number, so subtree_size(slot) = dfs_out - slot + 1 and
+        # the heavy test is one vectorized comparison over all child slots.
+        # Full labels and port lists are materialized lazily per node — a
+        # construction only pays O(m) array work plus one light-edge counting
+        # scan, not a Python tuple/list build per node.
+        import numpy as np
+
+        slots = tree._forwarding_slots
+        size = self.m
+        subtree = slots.dfs_out - np.arange(size, dtype=np.int64) + 1
+        parent_local = slots.parent_local
+        child_slots = np.flatnonzero(parent_local >= 0)
+        heavy_of_slot = np.zeros(size, dtype=bool)
+        heavy_of_slot[child_slots] = (
+            subtree[child_slots] * self.b >= subtree[parent_local[child_slots]])
+        self._node_of_slot = slots.node_of_slot
+        self._heavy_of_slot = heavy_of_slot
+
+        # light-edge count per slot: one preorder scan (parents precede
+        # children in slot order)
+        counts = [0] * size
+        parents_list = parent_local.tolist()
+        heavy_list = heavy_of_slot.tolist()
+        for s in range(size):
+            p = parents_list[s]
+            if p >= 0:
+                counts[s] = counts[p] + (0 if heavy_list[s] else 1)
+        self._light_count_of_slot = counts
+
+        self.heavy_children = _HeavyChildren(self)
         self._ports: Dict[int, List[int]] = {}
-        for v in tree.nodes:
-            neighbors = sorted(n for n, _ in tree.tree_neighbors(v))
-            self._ports[v] = neighbors
-
-        # heavy children per node
-        self.heavy_children: Dict[int, List[int]] = {}
-        for v in tree.nodes:
-            heavy = [
-                c for c in tree.children[v]
-                if tree.subtree_size[c] * self.b >= tree.subtree_size[v]
-            ]
-            self.heavy_children[v] = heavy
-
-        # labels: computed by a DFS that threads the light-edge list down
         self._labels: Dict[int, TreeLabel] = {}
-        self._compute_labels()
-        # the structure is immutable from here on; cache the O(m) aggregates
-        # that per-node accounting queries repeatedly (they were O(m²) per
-        # tree before the caching, the top cost of sparse-strategy builds)
         self._max_label_bits: Optional[int] = None
         self._max_table_bits: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+    def _ports_of(self, v: int) -> List[int]:
+        """Sorted tree-neighbor list of ``v`` (lazy; children are pre-sorted)."""
+        ports = self._ports.get(v)
+        if ports is None:
+            import bisect
+
+            ports = list(self.tree.children[v])
+            if v != self.tree.root:
+                bisect.insort(ports, self.tree.parent[v])
+            self._ports[v] = ports
+        return ports
+
     def _port_to(self, v: int, neighbor: int) -> int:
-        return self._ports[v].index(neighbor)
+        return self._ports_of(v).index(neighbor)
 
     def _neighbor_on_port(self, v: int, port: int) -> int:
-        return self._ports[v][port]
+        return self._ports_of(v)[port]
 
-    def _compute_labels(self) -> None:
-        root = self.tree.root
-        stack: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = [(root, ())]
-        while stack:
-            node, light_list = stack.pop()
-            self._labels[node] = TreeLabel(self.tree.dfs_in[node], light_list)
-            heavy = set(self.heavy_children[node])
-            for c in self.tree.children[node]:
-                if c in heavy:
-                    stack.append((c, light_list))
-                else:
-                    entry = (self.tree.dfs_in[node], self._port_to(node, c))
-                    stack.append((c, light_list + (entry,)))
+    def _heavy_children_of(self, v: int) -> List[int]:
+        """Heavy children of ``v`` in ascending id order (lazy per node)."""
+        tree = self.tree
+        dfs_in = tree.dfs_in
+        return [c for c in tree.children[v] if self._heavy_of_slot[dfs_in[c]]]
 
     # ------------------------------------------------------------------ #
     # public queries
     # ------------------------------------------------------------------ #
     def label_of(self, v: int) -> TreeLabel:
-        """The destination label of tree node ``v``."""
+        """The destination label of tree node ``v`` (materialized on demand).
+
+        The light-edge list is collected by one walk up the root path —
+        identical content and order (root first) to the eager construction.
+        """
         require(self.tree.contains(v), f"node {v} is not in the tree")
-        return self._labels[v]
+        label = self._labels.get(v)
+        if label is None:
+            tree = self.tree
+            dfs_in = tree.dfs_in
+            entries: List[Tuple[int, int]] = []
+            node = v
+            while node != tree.root:
+                parent = tree.parent[node]
+                if not self._heavy_of_slot[dfs_in[node]]:
+                    entries.append((dfs_in[parent], self._port_to(parent, node)))
+                node = parent
+            label = TreeLabel(dfs_in[v], tuple(reversed(entries)))
+            self._labels[v] = label
+        return label
 
     def max_light_edges(self) -> int:
         """Largest number of light-edge entries in any label (should be <= k)."""
-        return max((len(lbl.light_edges) for lbl in self._labels.values()), default=0)
+        return max(self._light_count_of_slot, default=0)
 
     def label_bits(self, v: int) -> int:
-        """Size in bits of ``v``'s label."""
-        return self.label_of(v).size_bits(self.m)
+        """Size in bits of ``v``'s label (no label materialization needed)."""
+        require(self.tree.contains(v), f"node {v} is not in the tree")
+        idbits = bits_for_count(max(self.m - 1, 1))
+        return idbits + self._light_count_of_slot[self.tree.dfs_in[v]] * 2 * idbits
 
     def max_label_bits(self) -> int:
         """Largest label size (cached)."""
         if self._max_label_bits is None:
-            self._max_label_bits = max(
-                (self.label_bits(v) for v in self.tree.nodes), default=0)
+            idbits = bits_for_count(max(self.m - 1, 1))
+            self._max_label_bits = idbits + self.max_light_edges() * 2 * idbits
         return self._max_label_bits
+
+    def _degree(self, v: int) -> int:
+        return len(self.tree.children[v]) + (0 if v == self.tree.root else 1)
 
     def table_budget(self, v: int) -> BitBudget:
         """Bit budget of node ``v``'s routing table."""
         require(self.tree.contains(v), f"node {v} is not in the tree")
         b = BitBudget()
         idbits = bits_for_count(max(self.m - 1, 1))
-        degree = max(len(self._ports[v]), 1)
-        portbits = bits_for_id(degree)
+        portbits = bits_for_id(max(self._degree(v), 1))
         b.add("own_interval", 2 * idbits)
         if v != self.tree.root:
             b.add("parent_port", portbits)
@@ -160,6 +213,33 @@ class CompactTreeRouting:
     def table_bits(self, v: int) -> int:
         """Table size in bits of node ``v``."""
         return self.table_budget(v).total()
+
+    def table_bits_list(self) -> List[int]:
+        """``table_bits`` of every node (tree-node order) in one lean pass.
+
+        Same integers as :meth:`table_bits` without a per-node
+        :class:`BitBudget`; used by construction-time accounting to charge a
+        whole tree at once.
+        """
+        import numpy as np
+
+        idbits = bits_for_count(max(self.m - 1, 1))
+        root = self.tree.root
+        dfs_in = self.tree.dfs_in
+        heavy_counts = np.bincount(
+            self.tree._forwarding_slots.parent_local[
+                np.flatnonzero(self._heavy_of_slot)],
+            minlength=self.m) if self.m else np.zeros(0, dtype=np.int64)
+        out: List[int] = []
+        children = self.tree.children
+        for v in self.tree.nodes:
+            degree = len(children[v]) + (0 if v == root else 1)
+            portbits = bits_for_id(max(degree, 1))
+            bits = 2 * idbits + int(heavy_counts[dfs_in[v]]) * (2 * idbits + portbits)
+            if v != root:
+                bits += portbits
+            out.append(bits)
+        return out
 
     def max_table_bits(self) -> int:
         """Largest table in the tree (cached)."""

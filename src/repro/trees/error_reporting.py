@@ -112,6 +112,14 @@ class DictionaryTreeRouting:
         """Total bits stored at node ``v``."""
         return self.table_budget(v).total()
 
+    def table_bits_list(self) -> List[int]:
+        """``table_bits`` of every node (tree-node order) in one lean pass."""
+        hash_bits = self.bucket_hash.storage_bits()
+        entry_bits = self.name_bits + bits_for_count(max(self.m - 1, 1))
+        interval_bits = self.interval.table_bits_list()
+        return [ib + hash_bits + entry_bits * len(self.buckets[v])
+                for v, ib in zip(self.tree.nodes, interval_bits)]
+
     def max_table_bits(self) -> int:
         """Largest per-node table in the tree."""
         return max((self.table_bits(v) for v in self.tree.nodes), default=0)

@@ -68,6 +68,27 @@ class IntervalTreeRouting:
         b.add("child_intervals", (2 * idbits + portbits), count=len(self.tree.children[v]))
         return b
 
+    def table_bits_list(self) -> List[int]:
+        """``table_bits`` of every node (tree-node order) in one lean pass.
+
+        Same integers as :meth:`table_bits`, but computed as plain arithmetic
+        without a :class:`BitBudget` per node — construction-time accounting
+        charges whole trees at once.
+        """
+        idbits = bits_for_count(max(self.m - 1, 1))
+        root = self.tree.root
+        children = self.tree.children
+        out: List[int] = []
+        for v in self.tree.nodes:
+            num_children = len(children[v])
+            degree = num_children + (0 if v == root else 1)
+            portbits = bits_for_id(max(degree, 1))
+            bits = 2 * idbits + num_children * (2 * idbits + portbits)
+            if v != root:
+                bits += portbits
+            out.append(bits)
+        return out
+
     # -- routing ----------------------------------------------------------- #
     def next_hop(self, current: int, target_label: int) -> Optional[int]:
         """Next tree node on the way to the node labeled ``target_label``.

@@ -197,6 +197,17 @@ class NameIndependentTreeRouting:
         """Total bits stored at node ``v``."""
         return self.table_budget(v).total()
 
+    def table_bits_list(self) -> List[int]:
+        """``table_bits`` of every node (tree-node order) in one lean pass."""
+        hash_bits = self.digit_hash.storage_bits()
+        label_bits = self.compact.max_label_bits()
+        digit_bits = bits_for_count(max(self.sigma - 1, 1))
+        compact_bits = self.compact.table_bits_list()
+        return [hash_bits + cb
+                + len(self.trie_children[v]) * (digit_bits + label_bits)
+                + len(self.dictionary[v]) * (self.name_bits + label_bits)
+                for v, cb in zip(self.tree.nodes, compact_bits)]
+
     def max_table_bits(self) -> int:
         """Largest per-node table."""
         return max((self.table_bits(v) for v in self.tree.nodes), default=0)
