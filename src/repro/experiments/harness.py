@@ -6,6 +6,11 @@
 are per-cell and independent, and the result rows come back in the same
 deterministic order as the serial loop.
 
+``run_traffic_matrix`` is the traffic sibling: every cell streams a seeded
+traffic-model workload (uniform / Zipf / gravity / hotspot) through the
+sharded engine in ``repro.traffic`` — millions of packets reduced to
+streaming statistics instead of a few thousand stored walks.
+
 ``build_matrix`` is the construction sibling: it builds every (scheme, graph,
 k) cell — no routing evaluation — timing preprocessing only.  Cells fan out
 over worker threads and, inside each cell, the scheme's
@@ -29,6 +34,8 @@ from repro.graphs.graph import WeightedGraph
 from repro.graphs.metrics import graph_summary
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
+from repro.traffic.engine import DEFAULT_BATCH_SIZE, run_traffic
+from repro.traffic.models import make_traffic_model
 
 
 @dataclass
@@ -167,6 +174,80 @@ def run_matrix(
                                          oracle, summary))
     for row in rows:
         result.add_row(**row)
+    return result
+
+
+def run_traffic_matrix(
+    name: str,
+    schemes: Sequence[str],
+    graphs: Sequence[tuple],
+    ks: Sequence[int],
+    model: str = "zipf",
+    packets: int = 100_000,
+    shards: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int = 0,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    model_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
+    engine: str = "auto",
+    processes: Optional[bool] = None,
+) -> ExperimentResult:
+    """Route ``packets`` packets of model traffic through every (scheme, graph, k).
+
+    The traffic sibling of :func:`run_matrix`: instead of a few thousand
+    uniformly sampled pairs evaluated with per-pair bookkeeping, each cell
+    streams a seeded :mod:`repro.traffic.models` workload — millions of
+    packets if asked — through :func:`repro.traffic.engine.run_traffic`,
+    reducing every batch into streaming statistics (count/sum/max, mergeable
+    quantile histograms, P² sketches) so memory stays O(shards), not
+    O(packets).
+
+    Parameters
+    ----------
+    model:
+        Traffic model name (``"uniform"``, ``"zipf"``, ``"gravity"``,
+        ``"hotspot"``); ``model_kwargs`` are forwarded to its constructor.
+        One model instance is built per graph with a per-graph derived seed,
+        so batches are reproducible cell to cell.
+    packets / shards / batch_size:
+        Stream volume, round-robin shard count (``shards > 1`` forks worker
+        processes over the shared, spawn-once compiled forwarding program
+        unless ``processes=False``), and streaming granularity.
+    engine:
+        ``"auto"`` / ``"lockstep"`` / ``"scalar"`` — identical streamed
+        statistics either way (the determinism suite asserts it).
+    backend:
+        Distance-backend spec for each graph's shared scoring oracle.
+
+    Returns an :class:`ExperimentResult` whose rows mirror :func:`run_matrix`
+    field names where the quantities coincide (``avg_stretch``,
+    ``max_stretch``, ``median_stretch``, ``p95_stretch``, ``failures``,
+    ``engine``) plus throughput (``pps``), delivery counters and the
+    hop-count quantiles.
+    """
+    result = ExperimentResult(name=name)
+    result.metadata.update(model=model, packets=packets, shards=shards,
+                           batch_size=batch_size, engine=engine)
+    for graph_index, (graph_label, graph) in enumerate(graphs):
+        oracle = DistanceOracle(graph, backend=backend)
+        traffic = make_traffic_model(model, graph, seed=seed * 1000 + graph_index,
+                                     **(model_kwargs or {}))
+        for k in ks:
+            for scheme_name in schemes:
+                kwargs = (scheme_kwargs or {}).get(scheme_name, {})
+                start = time.perf_counter()
+                scheme = build_scheme(scheme_name, graph, k=k, seed=seed,
+                                      oracle=oracle, **kwargs)
+                build_seconds = time.perf_counter() - start
+                report = run_traffic(scheme, traffic, packets, shards=shards,
+                                     batch_size=batch_size, engine=engine,
+                                     oracle=oracle, processes=processes)
+                row = report.as_row()
+                row.update(graph=graph_label, k=k, n=graph.n,
+                           m=graph.num_edges,
+                           build_seconds=build_seconds)
+                result.add_row(**row)
     return result
 
 

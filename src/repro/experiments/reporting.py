@@ -52,6 +52,29 @@ def format_series(xs: Sequence[object], ys: Sequence[float], x_label: str, y_lab
     return out.getvalue()
 
 
+#: default column order for traffic-matrix rows (see ``run_traffic_matrix``)
+TRAFFIC_COLUMNS = (
+    "graph", "scheme", "model", "engine", "shards", "packets", "pps",
+    "delivered", "failures", "unreachable", "avg_stretch", "median_stretch",
+    "p95_stretch", "p99_stretch", "max_stretch", "avg_hops", "p95_hops",
+)
+
+
+def traffic_table(rows: Sequence[Dict[str, object]],
+                  title: Optional[str] = None) -> str:
+    """Render traffic-matrix rows with the streamed-statistics column set.
+
+    A thin curation over :func:`format_table`: traffic rows carry many more
+    fields (P² diagnostics, hop quantiles, timing) than fit a terminal;
+    this picks the headline ones in a stable order, keeping only columns at
+    least one row actually has.
+    """
+    if not rows:
+        return format_table(rows, title=title)
+    columns = [c for c in TRAFFIC_COLUMNS if any(c in row for row in rows)]
+    return format_table(rows, columns=columns, title=title or "traffic")
+
+
 def results_to_csv(rows: Sequence[Dict[str, object]],
                    columns: Optional[Sequence[str]] = None) -> str:
     """Serialize rows to a CSV string (no external dependencies)."""

@@ -627,11 +627,18 @@ def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
     graph = program.graph
     bank = program.bank
     n = graph.n
-    src = np.asarray(list(sources), dtype=np.int64)
-    dst = np.asarray(list(destinations), dtype=np.int64)
+    # array-native inputs pass through without a Python-list round trip —
+    # traffic batches arrive as ndarrays tens of thousands of packets long;
+    # other sequences (lists, tuples, generators) are materialized as before
+    if not isinstance(sources, np.ndarray):
+        sources = list(sources)
+    if not isinstance(destinations, np.ndarray):
+        destinations = list(destinations)
+    src = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    dst = np.atleast_1d(np.asarray(destinations, dtype=np.int64))
     require(src.shape == dst.shape, "sources and destinations must have equal length")
     num = int(src.size)
-    plans = [program.plan(int(u), int(v)) for u, v in zip(src, dst)]
+    plans = [program.plan(u, v) for u, v in zip(src.tolist(), dst.tolist())]
 
     # ---------------------------------------------------------------- #
     # flatten the per-packet plans into leg arrays

@@ -51,6 +51,82 @@ class PairSamplingError(ValueError):
     """Raised when the requested number of connected pairs cannot be sampled."""
 
 
+def gather_hop_costs(graph: WeightedGraph, packet_idx: np.ndarray,
+                     heads: np.ndarray, tails: np.ndarray,
+                     num_packets: int) -> np.ndarray:
+    """Validate flattened hop arrays and accumulate per-packet walk costs.
+
+    Shared by :meth:`RoutingSimulator.verify_walks` (which flattens Python
+    paths), the lockstep engine (whose hop arrays come out of the run
+    directly, in the same packet-major chronological order — so the
+    accumulated sums are bit-identical between engines) and the traffic
+    engine's batch streaming.  Self-hops (``head == tail``) are ignored,
+    everything else must be a graph edge or :class:`InvalidRouteError` is
+    raised.
+    """
+    costs = np.zeros(num_packets)
+    if packet_idx.size == 0:
+        return costs
+    real = heads != tails
+    heads, tails, packet_idx = heads[real], tails[real], packet_idx[real]
+    if packet_idx.size == 0:
+        return costs
+    # bounds-check before the gather: CSR fancy indexing would wrap
+    # negative ids onto real nodes and certify a non-existent walk
+    out_of_range = ((heads < 0) | (heads >= graph.n)
+                    | (tails < 0) | (tails >= graph.n))
+    if out_of_range.any():
+        bad = int(np.where(out_of_range)[0][0])
+        raise InvalidRouteError(
+            f"walk step ({heads[bad]}, {tails[bad]}) is outside the graph")
+    csr = graph.to_scipy_csr()
+    weights = np.asarray(csr[heads, tails]).ravel()
+    missing = np.where(weights <= 0.0)[0]
+    if missing.size:
+        bad = int(missing[0])
+        raise InvalidRouteError(
+            f"walk uses non-existent edge ({heads[bad]}, {tails[bad]})")
+    np.add.at(costs, packet_idx, weights)
+    return costs
+
+
+def verify_lockstep_walks(graph: WeightedGraph, outcome, num_packets: int,
+                          destinations: np.ndarray) -> np.ndarray:
+    """Validate a lockstep run's hop arrays and endpoint claims; return costs.
+
+    The walk-certification half of lockstep evaluation, shared by the
+    simulator and the traffic engine: every hop must be a graph edge
+    (:func:`gather_hop_costs`) and every packet claiming ``found`` must have
+    ended at its destination.
+    """
+    costs = gather_hop_costs(graph, outcome.hop_index, outcome.hop_heads,
+                             outcome.hop_tails, num_packets)
+    bad = outcome.found & (outcome.final_nodes != destinations)
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise InvalidRouteError(
+            f"scheme reports 'found' but walk ends at "
+            f"{int(outcome.final_nodes[i])}, destination is "
+            f"{int(destinations[i])}")
+    return costs
+
+
+def resolve_engine_spec(scheme: RoutingSchemeInstance, engine: str) -> str:
+    """Turn an engine spec into ``"scalar"`` or ``"lockstep"``.
+
+    ``"auto"`` picks the lockstep engine when the scheme has a real compiled
+    program and the scalar engine when only the memoized fallback is
+    available (replaying scalar routes buys nothing then).  Shared by the
+    simulator and the traffic engine so both layers resolve a spec the same
+    way.
+    """
+    require(engine in ENGINE_NAMES,
+            f"engine must be one of {ENGINE_NAMES}, got {engine!r}")
+    if engine == "auto":
+        return "scalar" if scheme.compiled_forwarding().is_fallback else "lockstep"
+    return engine
+
+
 @dataclass
 class PairOutcome:
     """Evaluation of one routed pair."""
@@ -116,7 +192,8 @@ class RoutingSimulator:
     # pair sampling
     # ------------------------------------------------------------------ #
     def sample_pairs(self, num_pairs: int, seed=None, distinct: bool = True,
-                     on_shortfall: str = "raise") -> List[Tuple[int, int]]:
+                     on_shortfall: str = "raise",
+                     max_batches: int = 200) -> List[Tuple[int, int]]:
         """Sample source/destination pairs uniformly among connected pairs.
 
         Candidates are drawn in vectorized batches and rejected with one
@@ -126,9 +203,17 @@ class RoutingSimulator:
         is reported instead of silently returning fewer pairs:
         ``on_shortfall="raise"`` (default) raises :class:`PairSamplingError`,
         ``"warn"`` emits a warning and returns the partial list.
+
+        ``max_batches`` caps the rejection rounds (each round's draw is
+        itself capped at one million candidates, so a near-zero acceptance
+        probability cannot demand an unbounded allocation).  The default is
+        generous enough that a shortfall on a sane graph means something is
+        wrong; lower it when a *partial* sample is acceptable and the caller
+        handles the ``"warn"`` outcome.
         """
         require(on_shortfall in ("raise", "warn"),
                 f"on_shortfall must be 'raise' or 'warn', got {on_shortfall!r}")
+        require(max_batches >= 1, "need at least one sampling batch")
         n = self.graph.n
         require(n >= 2, "need at least two nodes to sample pairs")
         if num_pairs <= 0:
@@ -156,7 +241,6 @@ class RoutingSimulator:
         acceptance = max(acceptance, 1e-9)
 
         pairs: List[Tuple[int, int]] = []
-        max_batches = 200
         for _ in range(max_batches):
             need = num_pairs - len(pairs)
             if need <= 0:
@@ -254,54 +338,15 @@ class RoutingSimulator:
 
     def _gather_hop_costs(self, packet_idx: np.ndarray, heads: np.ndarray,
                           tails: np.ndarray, num_packets: int) -> np.ndarray:
-        """Validate flattened hop arrays and accumulate per-packet walk costs.
-
-        Shared by :meth:`verify_walks` (which flattens Python paths) and the
-        lockstep engine (whose hop arrays come out of the run directly, in the
-        same packet-major chronological order — so the accumulated sums are
-        bit-identical between engines).  Self-hops (``head == tail``) are
-        ignored, everything else must be a graph edge.
-        """
-        costs = np.zeros(num_packets)
-        if packet_idx.size == 0:
-            return costs
-        real = heads != tails
-        heads, tails, packet_idx = heads[real], tails[real], packet_idx[real]
-        if packet_idx.size == 0:
-            return costs
-        # bounds-check before the gather: CSR fancy indexing would wrap
-        # negative ids onto real nodes and certify a non-existent walk
-        out_of_range = ((heads < 0) | (heads >= self.graph.n)
-                        | (tails < 0) | (tails >= self.graph.n))
-        if out_of_range.any():
-            bad = int(np.where(out_of_range)[0][0])
-            raise InvalidRouteError(
-                f"walk step ({heads[bad]}, {tails[bad]}) is outside the graph")
-        csr = self.graph.to_scipy_csr()
-        weights = np.asarray(csr[heads, tails]).ravel()
-        missing = np.where(weights <= 0.0)[0]
-        if missing.size:
-            bad = int(missing[0])
-            raise InvalidRouteError(
-                f"walk uses non-existent edge ({heads[bad]}, {tails[bad]})")
-        np.add.at(costs, packet_idx, weights)
-        return costs
+        """Bound method façade over the module-level :func:`gather_hop_costs`."""
+        return gather_hop_costs(self.graph, packet_idx, heads, tails, num_packets)
 
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
     def resolve_engine(self, scheme: RoutingSchemeInstance, engine: str) -> str:
-        """Turn an engine spec into ``"scalar"`` or ``"lockstep"``.
-
-        ``"auto"`` picks the lockstep engine when the scheme has a real
-        compiled program and the scalar engine when only the memoized
-        fallback is available (replaying scalar routes buys nothing then).
-        """
-        require(engine in ENGINE_NAMES,
-                f"engine must be one of {ENGINE_NAMES}, got {engine!r}")
-        if engine == "auto":
-            return "scalar" if scheme.compiled_forwarding().is_fallback else "lockstep"
-        return engine
+        """Bound method façade over the module-level :func:`resolve_engine_spec`."""
+        return resolve_engine_spec(scheme, engine)
 
     def route_batch(self, scheme: RoutingSchemeInstance,
                     pairs: Sequence[Tuple[int, int]],
@@ -317,17 +362,8 @@ class RoutingSimulator:
 
     def _verify_lockstep(self, outcome, num_pairs: int,
                          destinations: np.ndarray) -> np.ndarray:
-        """Validate a lockstep run's hop arrays and endpoint claims; return costs."""
-        costs = self._gather_hop_costs(outcome.hop_index, outcome.hop_heads,
-                                       outcome.hop_tails, num_pairs)
-        bad = outcome.found & (outcome.final_nodes != destinations)
-        if bad.any():
-            i = int(np.flatnonzero(bad)[0])
-            raise InvalidRouteError(
-                f"scheme reports 'found' but walk ends at "
-                f"{int(outcome.final_nodes[i])}, destination is "
-                f"{int(destinations[i])}")
-        return costs
+        """Bound method façade over the module-level :func:`verify_lockstep_walks`."""
+        return verify_lockstep_walks(self.graph, outcome, num_pairs, destinations)
 
     @staticmethod
     def _apply_costs(results: List[RouteResult], costs: np.ndarray,

@@ -1,0 +1,430 @@
+"""The sharded traffic engine: millions of packets over compiled forwarding.
+
+This is the layer that turns the lockstep batch engine
+(:func:`repro.routing.forwarding.run_lockstep`) into a traffic system.  A run
+is a stream of batch-indexed packet batches from a
+:class:`~repro.traffic.models.TrafficModel`; each batch is routed, its walks
+verified hop-by-hop against the live graph (one CSR gather), scored against
+exact shortest-path distances, and reduced into
+:class:`~repro.traffic.stats.TrafficStats`.  Nothing per-packet survives a
+batch — memory is O(batch + shards · digests), not O(packets).
+
+Sharding
+--------
+Batches are partitioned round-robin by index: shard ``i`` of ``S`` streams
+batches ``i, i + S, i + 2S, ...``.  Because traffic models regenerate any
+batch from ``(seed, batch_index)`` alone, workers receive **no packet data**
+— each regenerates exactly its own batches.  With ``processes=True`` the
+shards run as forked worker processes sharing the parent's compiled
+:class:`ForwardingProgram`, graph CSR and distance-oracle pages copy-on-write
+(the program is built **once**, before the fork); each worker returns one
+small :class:`TrafficStats` which the parent merges.  With
+``processes=False`` the same shard partition runs sequentially in-process —
+the merge path is identical, which is what the determinism suite exercises.
+
+Every merged statistic except the P² diagnostics is bit-identical for any
+shard count and either engine (see ``traffic.stats``); a coverage check
+asserts the merged shards streamed exactly the batch set ``0..B-1``.
+
+Set ``REPRO_TRAFFIC_PROCESSES=0`` to globally disable worker processes
+(sandboxes/CI runners where fork is unavailable or undesirable).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.forwarding import run_lockstep
+from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.routing.simulator import (
+    InvalidRouteError,
+    gather_hop_costs,
+    resolve_engine_spec,
+    verify_lockstep_walks,
+)
+from repro.traffic.models import TrafficModel
+from repro.traffic.stats import TrafficStats
+from repro.utils.validation import require
+
+#: default packets per batch (the streaming granularity)
+DEFAULT_BATCH_SIZE = 8192
+
+#: the simulator's engine-spec resolution, shared so both layers agree
+resolve_traffic_engine = resolve_engine_spec
+
+
+def num_batches(packets: int, batch_size: int) -> int:
+    """Number of batches a run of ``packets`` splits into."""
+    require(packets > 0, "need at least one packet")
+    require(batch_size > 0, "batch size must be positive")
+    return int(math.ceil(packets / batch_size))
+
+
+def batch_size_of(batch_index: int, packets: int, batch_size: int) -> int:
+    """Size of batch ``batch_index`` (the last batch may be partial).
+
+    Depends only on ``(packets, batch_size, batch_index)`` so every shard —
+    and every shard *count* — agrees on the exact packet set.
+    """
+    return int(min(batch_size, packets - batch_index * batch_size))
+
+
+def _route_batch_lockstep(program, graph: WeightedGraph, src: np.ndarray,
+                          dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Route one batch through the lockstep engine; verify; reduce.
+
+    Returns ``(found, costs, hops)`` — the walks themselves are dropped once
+    the CSR gather has certified every hop and accumulated the true costs.
+    """
+    outcome = run_lockstep(program, src, dst, materialize=False)
+    costs = verify_lockstep_walks(graph, outcome, src.size, dst)
+    real = outcome.hop_heads != outcome.hop_tails
+    hops = np.bincount(outcome.hop_index[real], minlength=src.size)
+    return outcome.found, costs, hops
+
+
+def _route_batch_scalar(scheme, graph: WeightedGraph, src: np.ndarray,
+                        dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference engine: per-packet ``route()``, identical reductions."""
+    names = graph.names_view()
+    found = np.empty(src.size, dtype=bool)
+    idx_parts: List[int] = []
+    head_parts: List[int] = []
+    tail_parts: List[int] = []
+    for i, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+        result = scheme.route(u, names[v])
+        found[i] = result.found
+        path = result.path
+        require(len(path) >= 1 and path[0] == u,
+                f"scalar route for ({u}, {v}) does not start at its source")
+        if result.found and path[-1] != v:
+            raise InvalidRouteError(
+                f"scheme reports 'found' but walk ends at {path[-1]}, "
+                f"destination is {v}")
+        for a, b in zip(path, path[1:]):
+            idx_parts.append(i)
+            head_parts.append(a)
+            tail_parts.append(b)
+    idx = np.asarray(idx_parts, dtype=np.int64)
+    heads = np.asarray(head_parts, dtype=np.int64)
+    tails = np.asarray(tail_parts, dtype=np.int64)
+    costs = gather_hop_costs(graph, idx, heads, tails, src.size)
+    real = heads != tails
+    hops = np.bincount(idx[real], minlength=src.size)
+    return found, costs, hops
+
+
+def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
+                     src: np.ndarray, dst: np.ndarray):
+    """Route one batch, verify it, and score it against exact distances.
+
+    The shared per-batch body of :func:`stream_shard` and
+    :func:`run_traffic_exact` — one place owns the scoring rule, so the
+    exact reference always certifies the same quantity the streaming engine
+    reduces.  Returns ``(found, hops, finite, measured, stretch)`` where
+    ``stretch`` is 1.0 outside the ``measured`` (found & finite-distance)
+    mask and for zero-distance trivial pairs.
+    """
+    graph = scheme.graph
+    if engine == "lockstep":
+        found, costs, hops = _route_batch_lockstep(program, graph, src, dst)
+    else:
+        found, costs, hops = _route_batch_scalar(scheme, graph, src, dst)
+    oracle.prefetch(np.unique(dst))
+    shortest = oracle.pair_distances(dst, src)   # symmetric: dst rows reused
+    finite = np.isfinite(shortest)
+    measured = found & finite
+    stretch = np.ones(src.size)
+    np.divide(costs, shortest, out=stretch, where=measured & (shortest > 0))
+    return found, hops, finite, measured, stretch
+
+
+def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
+                 packets: int, batch_size: int = DEFAULT_BATCH_SIZE,
+                 engine: str = "lockstep", shard: int = 0, shards: int = 1,
+                 oracle: Optional[DistanceOracle] = None) -> TrafficStats:
+    """Stream one shard's batches (``shard, shard + shards, ...``) to stats.
+
+    This is the worker body of the sharded driver and the whole driver when
+    ``shards == 1``.  Per batch: regenerate the packets, route them, verify
+    every hop, score stretch against exact distances (rows prefetched for
+    the batch's *destination* set — the small side under skewed traffic;
+    distances are symmetric), and fold the reductions into the stats.
+    """
+    graph = scheme.graph
+    oracle = oracle or DistanceOracle(graph)
+    engine = resolve_traffic_engine(scheme, engine)
+    program = scheme.compiled_forwarding() if engine == "lockstep" else None
+    stats = TrafficStats()
+    total = num_batches(packets, batch_size)
+    for b in range(shard, total, shards):
+        size = batch_size_of(b, packets, batch_size)
+        src, dst = model.batch(b, size)
+        found, hops, finite, measured, stretch = _route_and_score(
+            scheme, program, oracle, engine, src, dst)
+        stats.update_batch(
+            b,
+            stretch_values=stretch[measured],
+            hop_values=hops,
+            packets=size,
+            delivered=int(np.count_nonzero(found)),
+            failures=int(np.count_nonzero(~found & finite)),
+            unreachable=int(np.count_nonzero(~finite)),
+        )
+    return stats
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of one traffic run: throughput facts + streamed statistics."""
+
+    scheme: str
+    model: str
+    engine: str
+    packets: int
+    shards: int
+    batch_size: int
+    processes: bool
+    seconds: float
+    stats: TrafficStats
+
+    @property
+    def pps(self) -> float:
+        """End-to-end routed packets per second (including verification)."""
+        return self.packets / self.seconds if self.seconds > 0 else float("inf")
+
+    def summary(self, include_p2: bool = True) -> Dict[str, float]:
+        """The streamed statistics (see :meth:`TrafficStats.summary`)."""
+        return self.stats.summary(include_p2=include_p2)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat row for :class:`~repro.experiments.harness.ExperimentResult`.
+
+        Field names mirror ``run_matrix`` rows where the quantities coincide
+        (``avg_stretch``, ``max_stretch``, ``median_stretch``,
+        ``p95_stretch``, ``failures``, ``engine``) so traffic rows drop into
+        the existing reporting/table helpers unchanged.
+        """
+        s = self.summary()
+        return {
+            "scheme": self.scheme,
+            "model": self.model,
+            "engine": self.engine,
+            "packets": self.packets,
+            "shards": self.shards,
+            "processes": self.processes,
+            "seconds": round(self.seconds, 4),
+            "pps": round(self.pps, 1),
+            "delivered": int(s["delivered"]),
+            "failures": int(s["failures"]),
+            "unreachable": int(s["unreachable"]),
+            "avg_stretch": s["avg_stretch"],
+            "max_stretch": s["max_stretch"],
+            "median_stretch": s["stretch_p50"],
+            "p95_stretch": s["stretch_p95"],
+            "p99_stretch": s["stretch_p99"],
+            "p2_median_stretch": s["stretch_p2_p50"],
+            "p2_p95_stretch": s["stretch_p2_p95"],
+            "avg_hops": s["avg_hops"],
+            "max_hops": s["max_hops"],
+            "median_hops": s["hops_p50"],
+            "p95_hops": s["hops_p95"],
+        }
+
+
+def processes_enabled() -> bool:
+    """Whether worker processes may be used on this platform/configuration."""
+    if os.environ.get("REPRO_TRAFFIC_PROCESSES", "") == "0":
+        return False
+    if not hasattr(os, "fork"):
+        return False
+    try:
+        import multiprocessing
+
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork start method
+        return False
+    return True
+
+
+def _run_sharded_processes(scheme, model, packets, batch_size, engine, shards,
+                           oracle) -> TrafficStats:
+    """Fork one worker per shard; merge their stats.
+
+    The compiled program / CSR / oracle pages are shared copy-on-write with
+    the parent (fork start method — no pickling of the program, ever).  A
+    worker failure surfaces as a raised :class:`RuntimeError` with the
+    worker's traceback text.
+    """
+    import multiprocessing
+    import queue as queue_module
+
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def worker(shard_id: int) -> None:
+        try:
+            stats = stream_shard(scheme, model, packets, batch_size=batch_size,
+                                 engine=engine, shard=shard_id, shards=shards,
+                                 oracle=oracle)
+            queue.put((shard_id, stats, None))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            import traceback
+
+            queue.put((shard_id, None, traceback.format_exc() or repr(exc)))
+
+    procs = [ctx.Process(target=worker, args=(shard_id,), daemon=True)
+             for shard_id in range(shards)]
+    for proc in procs:
+        proc.start()
+    per_shard: Dict[int, TrafficStats] = {}
+    failures: List[str] = []
+    while len(per_shard) + len(failures) < shards:
+        try:
+            shard_id, stats, error = queue.get(timeout=1.0)
+        except queue_module.Empty:
+            # a worker killed by the kernel (OOM, segfault) never reaches
+            # queue.put — without this liveness check the parent would block
+            # on the queue forever
+            if all(proc.exitcode is not None for proc in procs):
+                try:
+                    shard_id, stats, error = queue.get(timeout=2.0)  # last flush
+                except queue_module.Empty:
+                    exits = [(proc.pid, proc.exitcode) for proc in procs]
+                    raise RuntimeError(
+                        f"traffic worker(s) exited without reporting "
+                        f"(pid, exitcode): {exits}") from None
+            else:
+                continue
+        if error is not None:
+            failures.append(f"shard {shard_id}:\n{error}")
+        else:
+            per_shard[shard_id] = stats
+    for proc in procs:
+        proc.join()
+    if failures:
+        raise RuntimeError("traffic worker(s) failed:\n" + "\n".join(failures))
+    # merge in shard-id order, not queue-arrival order: the P² diagnostics
+    # fold weighted floats, so a fixed order keeps repeated runs bit-identical
+    merged: Optional[TrafficStats] = None
+    for shard_id in sorted(per_shard):
+        if merged is None:
+            merged = per_shard[shard_id]
+        else:
+            merged.merge(per_shard[shard_id])
+    assert merged is not None
+    return merged
+
+
+def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
+                packets: int, shards: int = 1,
+                batch_size: int = DEFAULT_BATCH_SIZE, engine: str = "auto",
+                oracle: Optional[DistanceOracle] = None,
+                processes: Optional[bool] = None) -> TrafficReport:
+    """Route ``packets`` packets of ``model`` traffic through ``scheme``.
+
+    Parameters
+    ----------
+    shards:
+        Number of round-robin batch shards.  With ``processes=True`` (the
+        default when ``shards > 1`` and fork is available) each shard is a
+        forked worker over the shared, spawn-once compiled program; with
+        ``processes=False`` the shards stream sequentially in-process —
+        identical partition and merge, no concurrency (testing/debug).
+    engine:
+        ``"auto"`` / ``"lockstep"`` / ``"scalar"`` — same meaning as the
+        simulator's evaluation engines; the streamed statistics are
+        identical under either engine.
+    oracle:
+        Shared distance oracle for exact stretch scoring (defaults to
+        backend auto-selection by graph size).
+
+    Returns a :class:`TrafficReport`; raises if any routed walk fails hop
+    verification or the merged shards did not cover every batch exactly once.
+    """
+    require(shards >= 1, "need at least one shard")
+    graph = scheme.graph
+    oracle = oracle or DistanceOracle(graph)
+    engine = resolve_traffic_engine(scheme, engine)
+    if engine == "lockstep":
+        scheme.compiled_forwarding()   # compile once, pre-fork
+    graph.to_scipy_csr()               # warm the shared CSR cache, pre-fork
+    graph.component_ids()
+    hot = model.hot_destinations()
+    if hot is not None:
+        # fill the hot destinations' distance rows once, pre-fork: under a
+        # lazy backend every shard scores against the same concentrated
+        # destination set, and pages filled after the fork are per-worker
+        # (copy-on-write has diverged), so a cold oracle would re-run the
+        # identical Dijkstras in every worker
+        oracle.prefetch(hot)
+    use_processes = processes if processes is not None else shards > 1
+    use_processes = bool(use_processes) and shards > 1 and processes_enabled()
+
+    start = time.perf_counter()
+    if use_processes:
+        stats = _run_sharded_processes(scheme, model, packets, batch_size,
+                                       engine, shards, oracle)
+    else:
+        stats = stream_shard(scheme, model, packets, batch_size=batch_size,
+                             engine=engine, shard=0, shards=shards,
+                             oracle=oracle)
+        for shard in range(1, shards):
+            stats.merge(stream_shard(scheme, model, packets,
+                                     batch_size=batch_size, engine=engine,
+                                     shard=shard, shards=shards, oracle=oracle))
+    seconds = time.perf_counter() - start
+
+    expected = set(range(num_batches(packets, batch_size)))
+    require(stats.batches == expected,
+            f"shard merge did not cover every batch exactly once "
+            f"(missing {sorted(expected - stats.batches)[:4]})")
+    require(stats.packets == packets, "merged packet count mismatch")
+    return TrafficReport(
+        scheme=scheme.scheme_name, model=model.name, engine=engine,
+        packets=packets, shards=shards, batch_size=batch_size,
+        processes=use_processes, seconds=seconds, stats=stats)
+
+
+def run_traffic_exact(scheme: RoutingSchemeInstance, model: TrafficModel,
+                      packets: int, batch_size: int = DEFAULT_BATCH_SIZE,
+                      engine: str = "auto",
+                      oracle: Optional[DistanceOracle] = None) -> Dict[str, np.ndarray]:
+    """Exact per-packet reference for sketch-accuracy checks (O(packets) memory).
+
+    Routes the same batch stream as :func:`run_traffic` but **keeps** the
+    per-packet stretch and hop arrays, so tests and the E16 parity stage can
+    compare streamed quantiles against ground truth.  Never use this at
+    traffic scale — that is the whole point of the streaming engine.
+    """
+    graph = scheme.graph
+    oracle = oracle or DistanceOracle(graph)
+    engine = resolve_traffic_engine(scheme, engine)
+    program = scheme.compiled_forwarding() if engine == "lockstep" else None
+    stretch_parts: List[np.ndarray] = []
+    hop_parts: List[np.ndarray] = []
+    found_parts: List[np.ndarray] = []
+    finite_parts: List[np.ndarray] = []
+    for b in range(num_batches(packets, batch_size)):
+        size = batch_size_of(b, packets, batch_size)
+        src, dst = model.batch(b, size)
+        found, hops, finite, measured, stretch = _route_and_score(
+            scheme, program, oracle, engine, src, dst)
+        stretch_parts.append(stretch[measured])
+        hop_parts.append(hops)
+        found_parts.append(found)
+        finite_parts.append(finite)
+    return {
+        "stretch": np.concatenate(stretch_parts),
+        "hops": np.concatenate(hop_parts),
+        "found": np.concatenate(found_parts),
+        "finite": np.concatenate(finite_parts),
+    }

@@ -1,0 +1,414 @@
+"""Streaming statistics for million-packet traffic runs.
+
+The traffic engine never stores per-packet walks: each routed batch is
+reduced on the spot into the structures here, so a run's resident state is
+O(batches + histogram bins), not O(packets).  Three layers cooperate:
+
+* **Per-batch digests** — count / sum / sum-of-squares / min / max of every
+  metric, keyed by *batch index*.  Reduction at summary time iterates the
+  digests in batch-index order, so the aggregate mean/std are **bit-identical
+  however the batches were partitioned across shards** (float addition is not
+  associative; a fixed reduction order makes the result partition-independent).
+* **Mergeable quantile histograms** — a base-``2^(1/128)`` log-bucketed
+  histogram for real-valued metrics (stretch) and an exact integer histogram
+  for hop counts.  Bucket counts are integers, so merging shard histograms is
+  exact and commutative: the official ``p50/p95/p99`` quantiles are identical
+  for every shard count.
+* **P² quantile sketches** — the classic Jain–Chlamtac constant-space
+  estimator, maintained per quantile over the *stream order* a shard sees.
+  P² states are order-dependent and cannot be merged exactly; merged runs
+  report the packet-count-weighted average of the shard estimates (exposed as
+  ``*_p2_*`` diagnostics).  Within one stream configuration they are fully
+  deterministic — the scalar and lockstep engines produce identical P²
+  values because they produce identical per-batch metric arrays.
+
+:class:`TrafficStats` bundles the metric streams with the delivery counters
+and owns the cross-shard ``merge`` (shards stream disjoint batch-index sets,
+so digest merging is a disjoint dict union).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+#: log-histogram resolution: buckets at powers of ``2 ** (1 / LOG_BINS_PER_OCTAVE)``
+#: (relative width ~0.54%, so reported quantiles sit within ~0.3% of the truth)
+LOG_BINS_PER_OCTAVE = 128
+
+#: relative accuracy bound of a log-histogram quantile (half a bucket width)
+LOG_QUANTILE_RTOL = 2.0 ** (1.0 / (2 * LOG_BINS_PER_OCTAVE)) - 1.0
+
+
+class P2Quantile:
+    """The P² (Jain–Chlamtac 1985) streaming estimator of one quantile.
+
+    Five markers track the running min, max, target quantile and the two
+    intermediate quantiles; each observation adjusts marker heights with the
+    piecewise-parabolic update.  O(1) space, O(1) per observation, no storage
+    of the stream.  Estimates are exact until five observations have arrived
+    (the sorted prefix is interpolated directly).
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "_seen")
+
+    def __init__(self, p: float) -> None:
+        require(0.0 < p < 1.0, f"quantile must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._seen = 0
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Fold a batch of observations into the sketch (stream order)."""
+        heights = self._heights
+        positions = self._positions
+        desired = self._desired
+        increments = self._increments
+        for x in np.asarray(values, dtype=float).tolist():
+            self._seen += 1
+            if len(heights) < 5:
+                heights.append(x)
+                if len(heights) == 5:
+                    heights.sort()
+                continue
+            # locate the cell of x and bump marker positions above it
+            if x < heights[0]:
+                heights[0] = x
+                cell = 0
+            elif x >= heights[4]:
+                heights[4] = x
+                cell = 3
+            else:
+                cell = 0
+                while x >= heights[cell + 1]:
+                    cell += 1
+            for i in range(cell + 1, 5):
+                positions[i] += 1.0
+            for i in range(5):
+                desired[i] += increments[i]
+            # adjust the three interior markers toward their desired positions
+            for i in (1, 2, 3):
+                delta = desired[i] - positions[i]
+                below = positions[i] - positions[i - 1]
+                above = positions[i + 1] - positions[i]
+                if (delta >= 1.0 and above > 1.0) or (delta <= -1.0 and below > 1.0):
+                    step = 1.0 if delta >= 1.0 else -1.0
+                    candidate = self._parabolic(i, step)
+                    if heights[i - 1] < candidate < heights[i + 1]:
+                        heights[i] = candidate
+                    else:  # parabolic prediction left the bracket: linear step
+                        j = i + (1 if step > 0 else -1)
+                        heights[i] += step * (heights[j] - heights[i]) \
+                            / (positions[j] - positions[i])
+                    positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q = self._heights
+        n = self._positions
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        return self._seen
+
+    def estimate(self) -> float:
+        """Current quantile estimate (NaN before any observation)."""
+        if self._seen == 0:
+            return float("nan")
+        if len(self._heights) < 5 or self._seen <= 5:
+            ordered = sorted(self._heights)
+            rank = self.p * (len(ordered) - 1)
+            lo = int(math.floor(rank))
+            hi = min(lo + 1, len(ordered) - 1)
+            return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+        return self._heights[2]
+
+
+class LogHistogram:
+    """Log-bucketed counting histogram for positive reals (DDSketch-style).
+
+    Bucket ``i`` covers ``[2**(i/K), 2**((i+1)/K))`` with
+    ``K = LOG_BINS_PER_OCTAVE``; a value is represented by the bucket's
+    geometric midpoint, so any quantile is reported within
+    :data:`LOG_QUANTILE_RTOL` relative error.  Counts are integers — merging
+    histograms is exact and commutative, which is what makes the official
+    traffic quantiles identical across shard counts.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        require(bool((values > 0).all()),
+                "log histogram accepts strictly positive values")
+        buckets = np.floor(np.log2(values) * LOG_BINS_PER_OCTAVE).astype(np.int64)
+        uniq, counts = np.unique(buckets, return_counts=True)
+        store = self._counts
+        for b, c in zip(uniq.tolist(), counts.tolist()):
+            store[b] = store.get(b, 0) + c
+
+    def merge(self, other: "LogHistogram") -> None:
+        store = self._counts
+        for b, c in other._counts.items():
+            store[b] = store.get(b, 0) + c
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts.values())
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile as the matched bucket's geometric midpoint."""
+        require(0.0 <= q <= 1.0, f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return float("nan")
+        target = max(1, int(math.ceil(q * total)))
+        running = 0
+        for bucket in sorted(self._counts):
+            running += self._counts[bucket]
+            if running >= target:
+                return 2.0 ** ((bucket + 0.5) / LOG_BINS_PER_OCTAVE)
+        raise AssertionError("unreachable: ranks exhausted below total count")
+
+
+class IntHistogram:
+    """Exact counting histogram for small non-negative integers (hop counts)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return
+        require(bool((values >= 0).all()),
+                "integer histogram accepts non-negative values")
+        uniq, counts = np.unique(values, return_counts=True)
+        store = self._counts
+        for b, c in zip(uniq.tolist(), counts.tolist()):
+            store[b] = store.get(b, 0) + c
+
+    def merge(self, other: "IntHistogram") -> None:
+        store = self._counts
+        for b, c in other._counts.items():
+            store[b] = store.get(b, 0) + c
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts.values())
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile (a value that occurs in the stream)."""
+        require(0.0 <= q <= 1.0, f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return float("nan")
+        target = max(1, int(math.ceil(q * total)))
+        running = 0
+        for value in sorted(self._counts):
+            running += self._counts[value]
+            if running >= target:
+                return float(value)
+        raise AssertionError("unreachable: ranks exhausted below total count")
+
+
+class MetricStream:
+    """One metric's streaming state: per-batch digests + histogram + P² bank.
+
+    ``kind="log"`` uses the relative-error log histogram (real-valued metrics
+    such as stretch); ``kind="int"`` uses exact integer counts (hop counts).
+    """
+
+    def __init__(self, kind: str, quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+                 p2_quantiles: Optional[Sequence[float]] = None) -> None:
+        require(kind in ("log", "int"), f"kind must be 'log' or 'int', got {kind!r}")
+        self.kind = kind
+        self.quantiles = tuple(quantiles)
+        self.histogram = LogHistogram() if kind == "log" else IntHistogram()
+        p2_quantiles = self.quantiles if p2_quantiles is None else tuple(p2_quantiles)
+        self._p2: Dict[float, P2Quantile] = {p: P2Quantile(p) for p in p2_quantiles}
+        #: packet-count-weighted P² estimates folded in from merged shards
+        self._p2_merged: Dict[float, Tuple[float, int]] = {}
+        #: batch index -> (count, sum, sum of squares, min, max)
+        self._digests: Dict[int, Tuple[int, float, float, float, float]] = {}
+
+    def update(self, batch_index: int, values: np.ndarray) -> None:
+        """Fold one batch's metric values in (at most once per batch index)."""
+        batch_index = int(batch_index)
+        require(batch_index not in self._digests,
+                f"batch {batch_index} was already folded into this stream")
+        values = np.asarray(values, dtype=float)
+        if values.size:
+            digest = (int(values.size), float(values.sum()),
+                      float(np.square(values).sum()),
+                      float(values.min()), float(values.max()))
+        else:
+            digest = (0, 0.0, 0.0, math.inf, -math.inf)
+        self._digests[batch_index] = digest
+        if values.size:
+            self.histogram.update(values)
+            for sketch in self._p2.values():
+                sketch.update_many(values)
+
+    # -- cross-shard merge ------------------------------------------------ #
+    def _p2_snapshot(self) -> Dict[float, Tuple[float, int]]:
+        """Current (weighted estimate, weight) per quantile, merged view."""
+        out = dict(self._p2_merged)
+        for p, sketch in self._p2.items():
+            if sketch.count:
+                acc, weight = out.get(p, (0.0, 0))
+                out[p] = (acc + sketch.estimate() * sketch.count,
+                          weight + sketch.count)
+        return out
+
+    def merge(self, other: "MetricStream") -> None:
+        """Fold a disjoint shard's stream into this one (exact except P²)."""
+        require(self.kind == other.kind, "cannot merge streams of different kinds")
+        overlap = self._digests.keys() & other._digests.keys()
+        require(not overlap,
+                f"shards streamed overlapping batches: {sorted(overlap)[:4]}")
+        self._digests.update(other._digests)
+        self.histogram.merge(other.histogram)
+        merged = self._p2_snapshot()
+        for p, (acc, weight) in other._p2_snapshot().items():
+            prev_acc, prev_weight = merged.get(p, (0.0, 0))
+            merged[p] = (prev_acc + acc, prev_weight + weight)
+        self._p2_merged = merged
+        self._p2 = {p: P2Quantile(p) for p in self._p2}  # consumed into merged
+
+    # -- reductions -------------------------------------------------------- #
+    @property
+    def batch_indices(self) -> List[int]:
+        return sorted(self._digests)
+
+    @property
+    def count(self) -> int:
+        return sum(d[0] for d in self._digests.values())
+
+    def _reduce(self) -> Tuple[int, float, float, float, float]:
+        """Reduce digests in batch-index order (partition-independent floats)."""
+        count, total, total_sq = 0, 0.0, 0.0
+        low, high = math.inf, -math.inf
+        for index in sorted(self._digests):
+            c, s, sq, lo, hi = self._digests[index]
+            count += c
+            total += s
+            total_sq += sq
+            low = min(low, lo)
+            high = max(high, hi)
+        return count, total, total_sq, low, high
+
+    def p2_estimate(self, p: float) -> float:
+        """The P² estimate (or the weighted shard average after a merge)."""
+        snapshot = self._p2_snapshot()
+        if p not in snapshot:
+            return float("nan")
+        acc, weight = snapshot[p]
+        return acc / weight if weight else float("nan")
+
+    def summary(self, prefix: str, include_p2: bool = True) -> Dict[str, float]:
+        """Flat headline stats: avg/min/max plus histogram and P² quantiles."""
+        count, total, total_sq, low, high = self._reduce()
+        out: Dict[str, float] = {f"{prefix}_count": count}
+        if count:
+            mean = total / count
+            variance = max(total_sq / count - mean * mean, 0.0)
+            out[f"avg_{prefix}"] = mean
+            out[f"min_{prefix}"] = low
+            out[f"max_{prefix}"] = high
+            out[f"std_{prefix}"] = math.sqrt(variance)
+        else:
+            out[f"avg_{prefix}"] = float("nan")
+            out[f"min_{prefix}"] = float("nan")
+            out[f"max_{prefix}"] = float("nan")
+            out[f"std_{prefix}"] = float("nan")
+        for q in self.quantiles:
+            out[f"{prefix}_p{round(q * 100)}"] = self.histogram.quantile(q)
+        if include_p2:
+            for p in sorted(set(self._p2) | set(self._p2_merged)):
+                out[f"{prefix}_p2_p{round(p * 100)}"] = self.p2_estimate(p)
+        return out
+
+
+class TrafficStats:
+    """Streaming statistics of one traffic run (or one shard of it).
+
+    Holds the stretch and hop-count :class:`MetricStream` plus integer
+    delivery counters.  Memory is O(batches + histogram bins) regardless of
+    packet count.  ``merge`` combines shards that streamed disjoint batch
+    sets; every merged field except the P² diagnostics is exactly
+    partition-independent (see the module docstring).
+    """
+
+    def __init__(self) -> None:
+        self.stretch = MetricStream("log", quantiles=(0.5, 0.95, 0.99))
+        self.hops = MetricStream("int", quantiles=(0.5, 0.95, 0.99),
+                                 p2_quantiles=(0.5, 0.95))
+        self.packets = 0
+        self.delivered = 0
+        self.failures = 0       # reachable destination, scheme did not deliver
+        self.unreachable = 0    # no path exists (e.g. detached by churn)
+        self.batches: set = set()
+
+    def update_batch(self, batch_index: int, stretch_values: np.ndarray,
+                     hop_values: np.ndarray, packets: int, delivered: int,
+                     failures: int, unreachable: int) -> None:
+        """Fold one routed batch's reductions in."""
+        batch_index = int(batch_index)
+        require(batch_index not in self.batches,
+                f"batch {batch_index} was already folded into these stats")
+        self.batches.add(batch_index)
+        self.stretch.update(batch_index, stretch_values)
+        self.hops.update(batch_index, hop_values)
+        self.packets += int(packets)
+        self.delivered += int(delivered)
+        self.failures += int(failures)
+        self.unreachable += int(unreachable)
+
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        """Fold a disjoint shard's stats into this one; returns ``self``."""
+        overlap = self.batches & other.batches
+        require(not overlap,
+                f"shards streamed overlapping batches: {sorted(overlap)[:4]}")
+        self.batches |= other.batches
+        self.stretch.merge(other.stretch)
+        self.hops.merge(other.hops)
+        self.packets += other.packets
+        self.delivered += other.delivered
+        self.failures += other.failures
+        self.unreachable += other.unreachable
+        return self
+
+    def summary(self, include_p2: bool = True) -> Dict[str, float]:
+        """Flat headline dict (the traffic engine's report payload).
+
+        With ``include_p2=False`` every field is bit-identical across shard
+        counts and engines; the P² fields additionally require a fixed stream
+        partition (they are engine-independent but shard-dependent).
+        """
+        out: Dict[str, float] = {
+            "packets": self.packets,
+            "delivered": self.delivered,
+            "failures": self.failures,
+            "unreachable": self.unreachable,
+        }
+        out.update(self.stretch.summary("stretch", include_p2=include_p2))
+        out.update(self.hops.summary("hops", include_p2=include_p2))
+        return out

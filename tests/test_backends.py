@@ -351,3 +351,32 @@ class TestVectorizedSampling:
             sim.sample_pairs(5, seed=0)
         with pytest.warns(UserWarning, match="no connected pair"):
             assert sim.sample_pairs(5, seed=0, on_shortfall="warn") == []
+
+    def test_partial_shortfall_warns_and_returns_partial_list(self):
+        # one connected pair among 1000 nodes: acceptance is 2e-6, so the
+        # per-round candidate cap bites and two rounds cannot produce 400
+        # pairs — the *partial* shortfall path, distinct from the
+        # no-pair-exists early exit above
+        graph = WeightedGraph(1000, [(0, 1, 1.0)])
+        sim = RoutingSimulator(graph,
+                               oracle=DistanceOracle(graph, backend="lazy"))
+        with pytest.raises(PairSamplingError, match="sampled only"):
+            sim.sample_pairs(400, seed=0, max_batches=2)
+        with pytest.warns(UserWarning, match="sampled only"):
+            pairs = sim.sample_pairs(400, seed=0, on_shortfall="warn",
+                                     max_batches=2)
+        assert 0 < len(pairs) < 400
+        assert all(set(pair) == {0, 1} for pair in pairs)
+        # the raise path must not have consumed the partial sample silently:
+        # the same seed re-yields the identical partial list
+        with pytest.warns(UserWarning, match="sampled only"):
+            again = sim.sample_pairs(400, seed=0, on_shortfall="warn",
+                                     max_batches=2)
+        assert again == pairs
+
+    def test_max_batches_must_be_positive(self):
+        graph = WeightedGraph(4, [(0, 1, 1.0)])
+        sim = RoutingSimulator(graph,
+                               oracle=DistanceOracle(graph, backend="lazy"))
+        with pytest.raises(ValueError, match="at least one sampling batch"):
+            sim.sample_pairs(2, seed=0, max_batches=0)

@@ -10,11 +10,15 @@ import numpy as np
 import pytest
 
 from repro.core.params import AGMParams
+from repro.dynamics.events import ChurnEvent, apply_events
 from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.generators import random_geometric_graph
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, shortest_path_tree
-from repro.routing.forwarding import (LEG_TREE, MemoizedScalarProgram,
-                                      NextHopTable, TreeBank, run_lockstep)
+from repro.routing.forwarding import (LEG_TREE, ForwardingProgram,
+                                      MemoizedScalarProgram, NextHopTable,
+                                      PacketPlan, TreeBank, run_lockstep,
+                                      table_leg)
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
 from repro.routing.simulator import RoutingSimulator
@@ -230,6 +234,86 @@ class TestCompiledProgramShape:
         full = run_lockstep(program, sources, destinations, materialize=True)
         assert fast.found.tolist() == [r.found for r in full.results]
         assert np.array_equal(fast.hop_tails, full.hop_tails)
+
+
+class TestLockstepEdgeCases:
+    """Previously-untested ``run_lockstep`` paths: empty batches, hop-cap
+    exhaustion on a broken table, and destinations detached by churn."""
+
+    def test_empty_batch_returns_empty_outcome(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        scheme = build_scheme("cowen", small_grid, seed=3, oracle=oracle)
+        outcome = run_lockstep(scheme.compiled_forwarding(), [], [])
+        assert outcome.found.size == 0
+        assert outcome.hop_index.size == 0
+        assert outcome.results == []
+        report = sim.evaluate_batch(scheme, [], engine="lockstep")
+        assert report.num_pairs == 0 and report.failures == 0
+
+    def test_array_inputs_match_list_inputs(self, small_grid):
+        oracle = DistanceOracle(small_grid)
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        scheme = build_scheme("cowen", small_grid, seed=3, oracle=oracle)
+        program = scheme.compiled_forwarding()
+        pairs = sim.sample_pairs(40, seed=9)
+        sources = [u for u, _ in pairs]
+        destinations = [v for _, v in pairs]
+        from_lists = run_lockstep(program, sources, destinations,
+                                  materialize=False)
+        from_arrays = run_lockstep(program, np.asarray(sources),
+                                   np.asarray(destinations), materialize=False)
+        assert np.array_equal(from_lists.found, from_arrays.found)
+        assert np.array_equal(from_lists.hop_tails, from_arrays.hop_tails)
+        assert np.array_equal(from_lists.final_nodes, from_arrays.final_nodes)
+
+    def test_table_hop_cap_exhaustion_advances_to_final_metadata(self):
+        # a deliberately broken table: 0 <-> 1 loop toward destination 3
+        graph = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        table = NextHopTable.from_arrays(
+            graph.n, np.asarray([0, 1]), np.asarray([3, 3]), np.asarray([1, 0]))
+
+        def planner(source: int, destination: int) -> PacketPlan:
+            return PacketPlan([table_leg(0, strategy="loop")], "gave-up", 2)
+
+        program = ForwardingProgram(graph, planner, tables=[table],
+                                    label="broken-loop")
+        outcome = run_lockstep(program, [0], [3])
+        # the n + 1 hop cap trips, the leg is abandoned, and the packet
+        # finalizes with the plan's final metadata instead of spinning
+        assert not outcome.found[0]
+        assert outcome.hop_index.size == graph.n + 1
+        assert outcome.hop_tails[:4].tolist() == [1, 0, 1, 0]
+        assert outcome.strategy_names[outcome.strategy_codes[0]] == "gave-up"
+        assert outcome.phases[0] == 2
+        # a reachable pair through the same program still misses (entry
+        # absent) and falls through with found=False rather than looping
+        missing = run_lockstep(program, [2], [3])
+        assert not missing.found[0] and missing.hop_index.size == 0
+
+    @pytest.mark.parametrize("scheme_name", ["shortest-path", "cowen"])
+    def test_detached_destination_after_churn_matches_scalar(self, scheme_name):
+        graph = random_geometric_graph(36, seed=771)
+        oracle = DistanceOracle(graph, backend="lazy")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=5, oracle=oracle)
+        victim = max(range(graph.n), key=graph.degree) // 2 + 1
+        delta = apply_events(graph, [ChurnEvent("detach", victim)])
+        scheme.maintain(delta)
+        sim = RoutingSimulator(graph, oracle=DistanceOracle(graph,
+                                                            backend="dense"))
+        sources = [u for u in range(graph.n) if u != victim][:10]
+        pairs = [(u, victim) for u in sources] + [(victim, sources[0])]
+        scalar = sim.route_batch(scheme, pairs, engine="scalar")
+        lockstep = sim.route_batch(scheme, pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, pairs)
+        assert not any(r.found for r in lockstep)
+        # reachable traffic still routes under both engines after the repair
+        ok_pairs = sim.sample_pairs(30, seed=6)
+        ok_pairs = [(u, v) for u, v in ok_pairs if victim not in (u, v)]
+        scalar = sim.route_batch(scheme, ok_pairs, engine="scalar")
+        lockstep = sim.route_batch(scheme, ok_pairs, engine="lockstep")
+        _assert_results_match(scalar, lockstep, ok_pairs)
+        assert all(r.found for r in lockstep)
 
 
 class TestReportEngineField:

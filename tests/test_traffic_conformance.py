@@ -1,0 +1,426 @@
+"""Cross-engine conformance suite for the traffic subsystem.
+
+Three layers of guarantees:
+
+* **Model layer** — seeded traffic batches are bit-identical per seed,
+  independent of generation order, and always connect valid (distinct,
+  same-component) endpoint pairs; each model exhibits its advertised shape
+  (Zipf concentration, hotspot fraction, gravity locality).
+* **Statistics layer** — the streaming structures match exact recomputation:
+  per-batch digests reduce to exact count/avg/min/max, histogram quantiles
+  sit within their documented relative-error bound, P² within a loose
+  tolerance, and splitting a stream into shards merges back to identical
+  official statistics.
+* **Engine layer** — stretch certification: for every scheme × graph family,
+  traffic routed under the lockstep *and* sharded engines stays within the
+  scheme's advertised stretch bound when checked against a **freshly built**
+  oracle (never the scheme's own state), and the streamed statistics are
+  identical across engines and shard counts (the determinism regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    random_geometric_graph,
+    ring_of_cliques,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.traffic.engine import (
+    batch_size_of,
+    num_batches,
+    processes_enabled,
+    run_traffic,
+    run_traffic_exact,
+)
+from repro.traffic.models import (
+    TRAFFIC_MODEL_NAMES,
+    GravityTraffic,
+    HotspotTraffic,
+    ZipfTraffic,
+    make_traffic_model,
+)
+from repro.traffic.stats import (
+    LOG_QUANTILE_RTOL,
+    IntHistogram,
+    LogHistogram,
+    P2Quantile,
+    TrafficStats,
+)
+
+#: advertised stretch bound per scheme at k=2 (mirrors the churn suite)
+STRETCH_BOUND = {
+    "shortest-path": 1.0 + 1e-9,
+    "cowen": 3.0 + 1e-6,
+    "thorup-zwick": 3.0 + 1e-6,          # 4k - 5 at k = 2
+    "agm": 16 * 2 + 8,                   # experiment-constant AGM bound
+    "awerbuch-peleg": 16 * 2 + 8,
+    "exponential": 16 * 2 ** 2 + 8,      # the O(2^k) family
+}
+
+FAMILIES = {
+    "geometric": lambda seed: random_geometric_graph(36, seed=seed),
+    "erdos-renyi": lambda seed: erdos_renyi_graph(32, seed=seed),
+    "grid": lambda seed: grid_graph(6, 6, seed=seed),
+    "ring-of-cliques": lambda seed: ring_of_cliques(5, 6, seed=seed),
+}
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow,
+                                       HealthCheck.data_too_large])
+
+
+def valid_pairs(graph: WeightedGraph, src: np.ndarray, dst: np.ndarray) -> None:
+    comp = graph.component_ids()
+    assert (src != dst).all()
+    assert (comp[src] == comp[dst]).all()
+    assert (src >= 0).all() and (src < graph.n).all()
+    assert (dst >= 0).all() and (dst < graph.n).all()
+
+
+# --------------------------------------------------------------------------- #
+# traffic models
+# --------------------------------------------------------------------------- #
+class TestTrafficModels:
+    @pytest.mark.parametrize("name", TRAFFIC_MODEL_NAMES)
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_batches_deterministic_and_valid(self, name, family):
+        graph = FAMILIES[family](seed=901)
+        model = make_traffic_model(name, graph, seed=17)
+        src, dst = model.batch(5, 400)
+        valid_pairs(graph, src, dst)
+        # bit-identical from a fresh instance, regardless of call order
+        other = make_traffic_model(name, graph, seed=17)
+        other.batch(0, 400)   # generating a different batch first changes nothing
+        src2, dst2 = other.batch(5, 400)
+        np.testing.assert_array_equal(src, src2)
+        np.testing.assert_array_equal(dst, dst2)
+        # a different seed produces a different stream
+        src3, _ = make_traffic_model(name, graph, seed=18).batch(5, 400)
+        assert not np.array_equal(src, src3)
+
+    def test_batches_valid_on_disconnected_graphs(self):
+        graph = WeightedGraph(8, [(0, 1, 1.0), (1, 2, 2.0), (4, 5, 1.0),
+                                  (5, 6, 1.5)], seed=7)
+        for name in TRAFFIC_MODEL_NAMES:
+            src, dst = make_traffic_model(name, graph, seed=3).batch(0, 500)
+            valid_pairs(graph, src, dst)
+            assert 3 not in set(src.tolist()) | set(dst.tolist())  # isolated
+            assert 7 not in set(src.tolist()) | set(dst.tolist())
+
+    def test_model_refused_without_any_connected_pair(self):
+        isolated = WeightedGraph(4, [])
+        with pytest.raises(ValueError, match="connected pair"):
+            make_traffic_model("uniform", isolated)
+
+    def test_zipf_concentrates_and_support_truncates(self):
+        graph = random_geometric_graph(60, seed=905)
+        model = ZipfTraffic(graph, seed=9, exponent=1.2, support=10)
+        _, dst = model.batch(0, 4000)
+        assert len(set(dst.tolist())) <= 10
+        counts = np.bincount(dst, minlength=graph.n)
+        # the most popular destination dwarfs the uniform expectation
+        assert counts.max() > 5 * 4000 / graph.n
+
+    def test_hotspot_fraction_respected(self):
+        graph = random_geometric_graph(60, seed=906)
+        model = HotspotTraffic(graph, seed=4, hotspots=4, fraction=0.8,
+                               placement="high-degree")
+        _, dst = model.batch(1, 5000)
+        hot = np.isin(dst, model.hotspots)
+        assert 0.72 < hot.mean() < 0.88
+        degrees = [graph.degree(int(v)) for v in model.hotspots]
+        assert min(degrees) >= int(np.median([graph.degree(v)
+                                              for v in range(graph.n)]))
+
+    def test_gravity_locality_stays_in_neighborhood(self):
+        graph = random_geometric_graph(60, seed=907)
+        model = GravityTraffic(graph, seed=5, locality=1.0, hops=2)
+        src, dst = model.batch(2, 2000)
+        valid_pairs(graph, src, dst)
+        oracle = DistanceOracle(graph, backend="dense")
+        # every packet's endpoints are within 2 hops (unweighted) of each other
+        for u, v in set(zip(src.tolist(), dst.tolist())):
+            neighbors = {w for w, _ in graph.neighbors(u)}
+            two_hop = set(neighbors)
+            for w in neighbors:
+                two_hop.update(x for x, _ in graph.neighbors(w))
+            assert v in two_hop
+        assert np.isfinite(oracle.pair_distances(src, dst)).all()
+
+    def test_unknown_model_rejected(self):
+        graph = random_geometric_graph(20, seed=908)
+        with pytest.raises(ValueError, match="unknown traffic model"):
+            make_traffic_model("carrier-pigeon", graph)
+
+
+# --------------------------------------------------------------------------- #
+# streaming statistics
+# --------------------------------------------------------------------------- #
+class TestStreamingStats:
+    def test_p2_tracks_exact_quantiles(self):
+        rng = np.random.default_rng(10)
+        values = rng.lognormal(mean=0.1, sigma=0.4, size=6000)
+        for p in (0.5, 0.95, 0.99):
+            sketch = P2Quantile(p)
+            sketch.update_many(values)
+            exact = float(np.quantile(values, p))
+            assert sketch.estimate() == pytest.approx(exact, rel=0.05)
+
+    def test_p2_exact_below_five_observations(self):
+        sketch = P2Quantile(0.5)
+        sketch.update_many(np.asarray([3.0, 1.0, 2.0]))
+        assert sketch.estimate() == pytest.approx(2.0)
+
+    def test_log_histogram_quantiles_within_documented_error(self):
+        rng = np.random.default_rng(11)
+        values = 1.0 + rng.exponential(scale=0.8, size=20000)
+        hist = LogHistogram()
+        hist.update(values)
+        for q in (0.05, 0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q, method="inverted_cdf"))
+            assert hist.quantile(q) == pytest.approx(
+                exact, rel=4 * LOG_QUANTILE_RTOL + 1e-3)
+
+    def test_int_histogram_is_exact(self):
+        rng = np.random.default_rng(12)
+        values = rng.integers(0, 40, size=5000)
+        hist = IntHistogram()
+        hist.update(values)
+        for q in (0.1, 0.5, 0.95):
+            exact = float(np.quantile(values, q, method="inverted_cdf"))
+            assert hist.quantile(q) == exact
+        assert hist.count == 5000
+
+    def test_merge_is_partition_independent(self):
+        rng = np.random.default_rng(13)
+        batches = [1.0 + rng.random(300) for _ in range(8)]
+        hop_batches = [rng.integers(0, 20, size=300) for _ in range(8)]
+
+        def fill(stats: TrafficStats, indices) -> TrafficStats:
+            for b in indices:
+                stats.update_batch(b, batches[b], hop_batches[b],
+                                   packets=300, delivered=299, failures=1,
+                                   unreachable=0)
+            return stats
+
+        whole = fill(TrafficStats(), range(8))
+        evens = fill(TrafficStats(), range(0, 8, 2))
+        odds = fill(TrafficStats(), range(1, 8, 2))
+        merged = evens.merge(odds)
+        assert merged.summary(include_p2=False) \
+            == whole.summary(include_p2=False)
+        # the P² diagnostic stays within a loose tolerance of the exact value
+        exact_p50 = float(np.quantile(np.concatenate(batches), 0.5))
+        assert merged.stretch.p2_estimate(0.5) == pytest.approx(exact_p50,
+                                                                rel=0.1)
+
+    def test_duplicate_batch_rejected(self):
+        stats = TrafficStats()
+        stats.update_batch(0, np.asarray([1.0]), np.asarray([1]),
+                           packets=1, delivered=1, failures=0, unreachable=0)
+        with pytest.raises(ValueError, match="already folded"):
+            stats.update_batch(0, np.asarray([1.0]), np.asarray([1]),
+                               packets=1, delivered=1, failures=0,
+                               unreachable=0)
+        other = TrafficStats()
+        other.update_batch(0, np.asarray([2.0]), np.asarray([2]),
+                           packets=1, delivered=1, failures=0, unreachable=0)
+        with pytest.raises(ValueError, match="overlapping"):
+            stats.merge(other)
+
+    def test_empty_stream_summary_is_defined(self):
+        summary = TrafficStats().summary()
+        assert summary["packets"] == 0
+        assert np.isnan(summary["avg_stretch"])
+        assert np.isnan(summary["stretch_p95"])
+
+
+# --------------------------------------------------------------------------- #
+# stretch certification (hypothesis): engines × schemes × families
+# --------------------------------------------------------------------------- #
+@st.composite
+def certification_cases(draw):
+    scheme = draw(st.sampled_from(sorted(SCHEME_BOUND_NAMES)))
+    family = draw(st.sampled_from(sorted(FAMILIES)))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    model = draw(st.sampled_from(TRAFFIC_MODEL_NAMES))
+    return scheme, family, seed, model
+
+
+SCHEME_BOUND_NAMES = tuple(STRETCH_BOUND)
+assert set(SCHEME_BOUND_NAMES) == set(SCHEME_NAMES)
+
+
+class TestStretchCertification:
+    @SLOW
+    @given(certification_cases())
+    def test_streamed_stretch_within_advertised_bound(self, case):
+        scheme_name, family, seed, model_name = case
+        graph = FAMILIES[family](seed=seed % 97)
+        fresh = DistanceOracle(graph, backend="dense")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=seed % 13,
+                              oracle=fresh)
+        model = make_traffic_model(model_name, graph, seed=seed)
+        # lockstep, single shard — scored against the fresh oracle
+        single = run_traffic(scheme, model, packets=600, batch_size=256,
+                             engine="lockstep", oracle=fresh)
+        summary = single.summary()
+        assert summary["delivered"] == 600
+        assert summary["max_stretch"] <= STRETCH_BOUND[scheme_name]
+        # sharded engine: identical official statistics, same bound
+        sharded = run_traffic(scheme, model, packets=600, batch_size=256,
+                              shards=3, processes=False, engine="lockstep",
+                              oracle=fresh)
+        assert sharded.summary(include_p2=False) \
+            == single.summary(include_p2=False)
+        # fresh-oracle walk check: the exact reference recomputes every
+        # walk cost hop by hop against the live graph; its per-packet
+        # stretch must reduce to the streamed headline numbers
+        exact = run_traffic_exact(scheme, model, packets=600, batch_size=256,
+                                  engine="lockstep", oracle=fresh)
+        assert float(exact["stretch"].max()) == summary["max_stretch"]
+        assert float(exact["stretch"].max()) <= STRETCH_BOUND[scheme_name]
+        assert bool(exact["found"].all())
+
+
+# --------------------------------------------------------------------------- #
+# determinism regression: shards × engines × processes
+# --------------------------------------------------------------------------- #
+class TestDeterminism:
+    def _scheme_and_model(self, scheme_name="cowen", seed=23):
+        graph = random_geometric_graph(40, seed=802)
+        oracle = DistanceOracle(graph, backend="dense")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=7, oracle=oracle)
+        model = make_traffic_model("zipf", graph, seed=seed)
+        return scheme, model, oracle
+
+    def test_same_seed_same_run(self):
+        scheme, model, oracle = self._scheme_and_model()
+        a = run_traffic(scheme, model, packets=3000, batch_size=512,
+                        engine="lockstep", oracle=oracle)
+        b = run_traffic(scheme, model, packets=3000, batch_size=512,
+                        engine="lockstep", oracle=oracle)
+        assert a.summary() == b.summary()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_official_stats_identical_across_shard_counts(self, shards):
+        scheme, model, oracle = self._scheme_and_model()
+        one = run_traffic(scheme, model, packets=3000, batch_size=512,
+                          shards=1, engine="lockstep", oracle=oracle)
+        many = run_traffic(scheme, model, packets=3000, batch_size=512,
+                           shards=shards, processes=False, engine="lockstep",
+                           oracle=oracle)
+        assert one.summary(include_p2=False) == many.summary(include_p2=False)
+
+    def test_engines_identical_including_p2(self):
+        scheme, model, oracle = self._scheme_and_model()
+        scalar = run_traffic(scheme, model, packets=1500, batch_size=512,
+                             engine="scalar", oracle=oracle)
+        lockstep = run_traffic(scheme, model, packets=1500, batch_size=512,
+                               engine="lockstep", oracle=oracle)
+        # engines walk identical paths, so even the order-dependent P²
+        # sketches agree bit for bit at a fixed shard count
+        assert scalar.summary() == lockstep.summary()
+
+    def test_auto_engine_resolves_to_lockstep_for_compiled_schemes(self):
+        scheme, model, oracle = self._scheme_and_model()
+        auto = run_traffic(scheme, model, packets=800, batch_size=256,
+                           engine="auto", oracle=oracle)
+        assert auto.engine == "lockstep"
+
+    @pytest.mark.skipif(not processes_enabled(),
+                        reason="fork-based worker processes unavailable")
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_forked_workers_match_inline_shards(self, shards):
+        # shards=3 matters: the P² merge folds weighted floats, so only a
+        # fixed (shard-id) merge order keeps forked runs bit-identical to
+        # the inline partition — queue-arrival order would be flaky here
+        scheme, model, oracle = self._scheme_and_model()
+        inline = run_traffic(scheme, model, packets=4000, batch_size=512,
+                             shards=shards, processes=False, engine="lockstep",
+                             oracle=oracle)
+        forked = run_traffic(scheme, model, packets=4000, batch_size=512,
+                             shards=shards, processes=True, engine="lockstep",
+                             oracle=oracle)
+        assert forked.processes
+        assert forked.summary() == inline.summary()
+
+    @pytest.mark.skipif(not processes_enabled(),
+                        reason="fork-based worker processes unavailable")
+    def test_killed_worker_raises_instead_of_hanging(self, monkeypatch):
+        # a worker killed by the kernel (OOM/segfault regime) never reports;
+        # the parent must detect the dead process and raise, not block on
+        # the result queue forever
+        import os
+        import signal
+
+        import repro.traffic.engine as traffic_engine
+
+        scheme, model, oracle = self._scheme_and_model()
+        original = traffic_engine.stream_shard
+
+        def sabotaged(scheme, model, packets, batch_size=512,
+                      engine="lockstep", shard=0, shards=1, oracle=None):
+            if shard == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(scheme, model, packets, batch_size=batch_size,
+                            engine=engine, shard=shard, shards=shards,
+                            oracle=oracle)
+
+        monkeypatch.setattr(traffic_engine, "stream_shard", sabotaged)
+        with pytest.raises(RuntimeError, match="exited without reporting"):
+            run_traffic(scheme, model, packets=2000, batch_size=256,
+                        shards=2, processes=True, engine="lockstep",
+                        oracle=oracle)
+
+    def test_batch_partition_arithmetic(self):
+        assert num_batches(1000, 256) == 4
+        assert [batch_size_of(b, 1000, 256) for b in range(4)] \
+            == [256, 256, 256, 232]
+        with pytest.raises(ValueError):
+            num_batches(0, 256)
+
+
+# --------------------------------------------------------------------------- #
+# harness integration
+# --------------------------------------------------------------------------- #
+class TestTrafficMatrix:
+    def test_run_traffic_matrix_rows_mirror_run_matrix_fields(self):
+        from repro.experiments.harness import run_traffic_matrix
+        from repro.experiments.reporting import traffic_table
+
+        graph = random_geometric_graph(36, seed=811)
+        result = run_traffic_matrix(
+            "traffic-smoke", ["cowen", "shortest-path"],
+            [("geo", graph)], ks=[2], model="hotspot", packets=2000,
+            batch_size=512, seed=3, backend="dense")
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["engine"] == "lockstep"
+            assert row["packets"] == 2000
+            assert row["delivered"] == 2000
+            assert row["max_stretch"] <= STRETCH_BOUND[row["scheme"]]
+            for field in ("avg_stretch", "median_stretch", "p95_stretch",
+                          "failures", "pps", "avg_hops"):
+                assert field in row
+        table = traffic_table(result.rows)
+        assert "pps" in table and "cowen" in table
+
+    def test_traffic_suite_builds_every_model(self):
+        from repro.experiments.workloads import traffic_suite
+
+        graph = random_geometric_graph(24, seed=812)
+        suite = traffic_suite(graph, seed=5)
+        assert [name for name, _ in suite] == sorted(TRAFFIC_MODEL_NAMES)
+        for _, model in suite:
+            src, dst = model.batch(0, 50)
+            valid_pairs(graph, src, dst)
