@@ -156,10 +156,10 @@ def throughput_stage(args) -> list:
 
         single = run_traffic(scheme, model, args.packets, shards=1,
                              batch_size=args.batch, engine="lockstep",
-                             oracle=oracle)
+                             oracle=oracle, profile=args.profile)
         sharded = run_traffic(scheme, model, args.packets, shards=args.shards,
                               batch_size=args.batch, engine="lockstep",
-                              oracle=oracle)
+                              oracle=oracle, profile=args.profile)
         summary = single.summary()
         row = {
             "n": args.n,
@@ -186,6 +186,13 @@ def throughput_stage(args) -> list:
             "avg_hops": summary["avg_hops"],
             "p95_hops": summary["hops_p95"],
         }
+        if args.profile:
+            # per-stage wall seconds (plan/step/verify/score/reduce) for
+            # both runs; the sharded dict sums stage time across workers
+            row["profile_single"] = {k: round(v, 3) for k, v
+                                     in sorted((single.profile or {}).items())}
+            row["profile_sharded"] = {k: round(v, 3) for k, v
+                                      in sorted((sharded.profile or {}).items())}
         rows.append(row)
         print(f"{row['n']:>6} {row['scheme']:>15} build {row['build_s']:>7.1f}s "
               f"single {row['single_pps']:>9.0f} pps  sharded({args.shards}) "
@@ -221,6 +228,9 @@ def main() -> None:
     parser.add_argument("--parity-scalar-packets", type=int, default=None)
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: small graph, fewer packets")
+    parser.add_argument("--profile", action="store_true",
+                        help="record the per-stage wall-time breakdown "
+                             "(plan/step/verify/score/reduce) in the JSON rows")
     parser.add_argument("--assert-speedup", action="store_true",
                         help="exit non-zero unless parity holds everywhere, "
                              "all packets are delivered, and the sharded "

@@ -1,0 +1,249 @@
+"""E17 — fused hop kernels: the kernel-vs-legacy throughput ladder.
+
+The tentpole measurement of the fused lockstep executor
+(:mod:`repro.routing.kernels`): every scheme in ``--schemes`` routes
+``--packets`` packets of Zipf-skewed traffic through four configurations —
+
+* **legacy** — the per-step lockstep loop (``REPRO_KERNELS=0``), single
+  process; the pre-kernel baseline;
+* **kernel** — the fused per-program-type cohort executor, single process;
+* **kernel+service** — fused kernels under the steady-state service loop
+  (warm per-shard batch buffers, per-epoch stats flushes);
+* **kernel+shards** — fused kernels across ``--shards`` forked workers with
+  the compiled program and pinned hot distance rows published once in
+  shared memory.
+
+All four runs must produce bit-identical official streamed statistics
+(asserted), so the ladder is a pure throughput comparison.  The JSON also
+records per-core pps (sharded pps divided by the effective core count) and,
+when a ``BENCH_e16.json`` rung is present beside the repo root, the speedup
+of the fused engine over that recorded pre-kernel baseline per scheme.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e17_throughput.py
+    PYTHONPATH=src python benchmarks/bench_e17_throughput.py \
+        --n 20000 --packets 1000000 --schemes shortest-path cowen
+    PYTHONPATH=src python benchmarks/bench_e17_throughput.py \
+        --quick --assert-speedup --json /tmp/bench_e17.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.experiments.workloads import make_workload
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.backends import LazyDijkstraBackend
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.traffic.engine import run_traffic
+from repro.traffic.models import make_traffic_model
+
+DEFAULT_N = 20000
+DEFAULT_PACKETS = 1_000_000
+DEFAULT_SCHEMES = ["shortest-path", "cowen"]
+DEFAULT_SHARDS = 4
+DEFAULT_BATCH = 16384
+DEFAULT_SUPPORT = 512
+QUICK_N = 400
+QUICK_PACKETS = 60_000
+QUICK_SCHEMES = ["cowen"]
+QUICK_SHARDS = 2
+
+
+def kernel_env(enabled: bool):
+    """Context manager flipping the fused-kernel dispatch for one run."""
+    class _Ctx:
+        def __enter__(self):
+            self._prev = os.environ.get("REPRO_KERNELS")
+            os.environ["REPRO_KERNELS"] = "1" if enabled else "0"
+
+        def __exit__(self, *exc):
+            if self._prev is None:
+                os.environ.pop("REPRO_KERNELS", None)
+            else:
+                os.environ["REPRO_KERNELS"] = self._prev
+
+    return _Ctx()
+
+
+def load_e16_baseline(json_path: str) -> dict:
+    """``scheme -> single-process pps`` from the recorded E16 rung, if any."""
+    e16_path = os.path.join(os.path.dirname(json_path), "BENCH_e16.json")
+    try:
+        with open(e16_path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return {row["scheme"]: float(row["single_pps"])
+            for row in payload.get("rows", [])
+            if "scheme" in row and "single_pps" in row}
+
+
+def ladder_stage(args, baseline_pps: dict) -> list:
+    graph = make_workload("barabasi-albert", args.n, seed=args.seed)
+    support = min(args.zipf_support, max(args.n // 4, 8))
+    backend = LazyDijkstraBackend(graph, cache_rows=support + 64)
+    oracle = DistanceOracle(graph, backend=backend)
+    model = make_traffic_model("zipf", graph, seed=args.seed + 1,
+                               support=support)
+    rows = []
+    for name in args.schemes:
+        t0 = time.perf_counter()
+        scheme = build_scheme(name, graph, k=2, seed=args.seed + 2,
+                              oracle=oracle)
+        build_s = time.perf_counter() - t0
+
+        with kernel_env(False):
+            legacy = run_traffic(scheme, model, args.packets, shards=1,
+                                 batch_size=args.batch, engine="lockstep",
+                                 oracle=oracle, profile=args.profile)
+        with kernel_env(True):
+            kernel = run_traffic(scheme, model, args.packets, shards=1,
+                                 batch_size=args.batch, engine="lockstep",
+                                 oracle=oracle, profile=args.profile)
+            service = run_traffic(scheme, model, args.packets, shards=1,
+                                  batch_size=args.batch, engine="lockstep",
+                                  oracle=oracle, service=True)
+            sharded = run_traffic(scheme, model, args.packets,
+                                  shards=args.shards, batch_size=args.batch,
+                                  engine="lockstep", oracle=oracle)
+
+        official = legacy.summary(include_p2=False)
+        stats_match = all(r.summary(include_p2=False) == official
+                          for r in (kernel, service, sharded))
+        cores = min(args.shards, os.cpu_count() or 1)
+        summary = kernel.summary()
+        row = {
+            "n": args.n,
+            "scheme": name,
+            "model": model.name,
+            "zipf_support": support,
+            "packets": args.packets,
+            "batch_size": args.batch,
+            "build_s": round(build_s, 2),
+            "legacy_pps": round(legacy.pps, 1),
+            "kernel_pps": round(kernel.pps, 1),
+            "service_pps": round(service.pps, 1),
+            "sharded_pps": round(sharded.pps, 1),
+            "kernel_speedup": round(kernel.pps / legacy.pps, 3),
+            "service_speedup": round(service.pps / legacy.pps, 3),
+            "per_core_pps": round(sharded.pps / cores, 1),
+            "shards": args.shards,
+            "used_processes": sharded.processes,
+            "used_shared_memory": sharded.shared_memory,
+            "stats_match": stats_match,
+            "delivered": int(summary["delivered"]),
+            "failures": int(summary["failures"]),
+            "avg_stretch": summary["avg_stretch"],
+            "p95_stretch": summary["stretch_p95"],
+        }
+        if args.profile:
+            row["profile_legacy"] = {k: round(v, 3) for k, v
+                                     in sorted((legacy.profile or {}).items())}
+            row["profile_kernel"] = {k: round(v, 3) for k, v
+                                     in sorted((kernel.profile or {}).items())}
+        if name in baseline_pps:
+            row["e16_single_pps"] = baseline_pps[name]
+            row["e16_speedup"] = round(kernel.pps / baseline_pps[name], 3)
+        rows.append(row)
+        e16_note = (f"  vs-e16 {row['e16_speedup']:.2f}x"
+                    if "e16_speedup" in row else "")
+        print(f"{row['n']:>6} {row['scheme']:>15} "
+              f"legacy {row['legacy_pps']:>9.0f} pps  "
+              f"kernel {row['kernel_pps']:>9.0f} pps "
+              f"({row['kernel_speedup']:.2f}x)  service "
+              f"{row['service_pps']:>9.0f}  sharded({args.shards}) "
+              f"{row['sharded_pps']:>9.0f}  match {stats_match}{e16_note}")
+    return rows
+
+
+def speedup_threshold(quick: bool) -> float:
+    """Kernel-vs-legacy gate (same process, same core — no core scaling).
+
+    Quick mode runs a 400-node graph where per-batch numpy overhead still
+    dominates, so the gate only asserts the fused path is not a regression;
+    the full ladder at n=20000 is where the multiples show up.
+    """
+    return 1.05 if quick else 1.5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--packets", type=int, default=None)
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        choices=list(SCHEME_NAMES))
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--zipf-support", type=int, default=DEFAULT_SUPPORT)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: small graph, fewer packets")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-stage wall-time breakdowns per run")
+    parser.add_argument("--assert-speedup", action="store_true",
+                        help="exit non-zero unless statistics are identical "
+                             "across all four configurations, all packets "
+                             "are delivered, and the fused kernels clear "
+                             "the kernel-vs-legacy threshold")
+    parser.add_argument("--json", default=None,
+                        help="where to write the JSON rows "
+                             "(default: BENCH_e17.json beside the repo root)")
+    args = parser.parse_args()
+
+    args.n = args.n or (QUICK_N if args.quick else DEFAULT_N)
+    args.packets = args.packets or (QUICK_PACKETS if args.quick
+                                    else DEFAULT_PACKETS)
+    args.schemes = args.schemes or (QUICK_SCHEMES if args.quick
+                                    else DEFAULT_SCHEMES)
+    args.shards = args.shards or (QUICK_SHARDS if args.quick
+                                  else DEFAULT_SHARDS)
+    json_path = args.json or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_e17.json")
+
+    print("# E17: fused hop kernels — kernel vs legacy throughput ladder")
+    baseline_pps = load_e16_baseline(json_path)
+    rows = ladder_stage(args, baseline_pps)
+    threshold = speedup_threshold(args.quick)
+    payload = {
+        "benchmark": "e17_throughput",
+        "n": args.n,
+        "packets_per_run": args.packets,
+        "total_packets_routed": sum(4 * r["packets"] for r in rows),
+        "schemes": args.schemes,
+        "shards": args.shards,
+        "batch_size": args.batch,
+        "backend": "lazy",
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "kernel_speedup_threshold": threshold,
+        "rows": rows,
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+    if args.assert_speedup:
+        mismatched = [r["scheme"] for r in rows if not r["stats_match"]]
+        assert not mismatched, \
+            f"kernel/service/sharded statistics diverge from legacy: {mismatched}"
+        undelivered = [r["scheme"] for r in rows
+                       if r["delivered"] != r["packets"]]
+        assert not undelivered, f"dropped packets under: {undelivered}"
+        slow = [r for r in rows if r["kernel_speedup"] < threshold]
+        assert not slow, (
+            f"fused kernels below the {threshold:.2f}x kernel-vs-legacy "
+            f"threshold: "
+            f"{[(r['scheme'], r['kernel_speedup']) for r in slow]}")
+        print(f"assertions passed: statistics identical across the ladder, "
+              f"kernel speedup >= {threshold:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

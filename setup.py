@@ -2,9 +2,21 @@
 
 The environment this reproduction targets has no ``wheel`` package available
 (offline), so editable installs go through the legacy ``setup.py develop``
-path; all project metadata lives in ``pyproject.toml``.
+path.  The only metadata that matters here is the optional-dependency
+groups: the core engines run on numpy/scipy alone, and ``repro[jit]`` adds
+numba for the optional ``REPRO_JIT=1`` fused-kernel path (import-guarded —
+its absence silently falls back to the pure-numpy kernels).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={
+        # optional JIT acceleration of the fused lockstep kernels
+        # (repro.routing.kernels honours REPRO_JIT=1 only when importable)
+        "jit": ["numba"],
+    },
+)

@@ -188,6 +188,9 @@ class CowenRouting(RoutingSchemeInstance):
         from repro.routing.forwarding import (ForwardingProgram, PacketPlan,
                                               TreeBank, table_leg, tree_leg)
 
+        from repro.routing.forwarding import LEG_TABLE, LEG_TREE
+        from repro.routing.kernels import BatchPlans
+
         bank = TreeBank(self.graph.n)
         tree_id_of = {a: bank.add(routing.tree) for a, routing in self._trees.items()}
         header = self.header_bits()
@@ -207,9 +210,64 @@ class CowenRouting(RoutingSchemeInstance):
                                      "cowen-landmark", 2, terminal=True))
             return PacketPlan(legs, "cowen", 0)
 
+        # vectorized batch planning: per-destination home-tree / target-slot
+        # arrays, computed once per compiled program (the bank is frozen by
+        # program construction, before the first batch arrives)
+        dest_arrays: dict = {}
+
+        def plan_batch(src: np.ndarray, dst: np.ndarray) -> BatchPlans:
+            cached = dest_arrays.get("arrs")
+            if cached is None:
+                n = self.graph.n
+                all_nodes = np.arange(n, dtype=np.int64)
+                landmark_tree = np.full(n, -1, dtype=np.int64)
+                for a, tid in tree_id_of.items():
+                    landmark_tree[a] = tid
+                home_tree = landmark_tree[
+                    np.asarray([self.home[v] for v in range(n)], dtype=np.int64)]
+                # slot >= 0 iff the home tree contains the node — the same
+                # membership test ``plan`` runs via ``tree.contains``
+                target_slot = bank.slots_of(home_tree, all_nodes)
+                cached = (home_tree, target_slot)
+                dest_arrays["arrs"] = cached
+            home_tree, target_slot = cached
+            num = int(src.size)
+            nonself = src != dst
+            has_tree = nonself & (target_slot[dst] >= 0)
+            counts = nonself.astype(np.int64) + has_tree
+            leg_lo = np.concatenate(([0], np.cumsum(counts)[:-1])) if num \
+                else np.zeros(0, dtype=np.int64)
+            total = int(counts.sum())
+            # leg 0 (every non-self packet): the cluster-table phase;
+            # leg 1 (packets whose home tree holds the destination): the
+            # terminal landmark-tree walk
+            leg_kind = np.full(total, LEG_TABLE, dtype=np.int8)
+            leg_a = np.zeros(total, dtype=np.int64)
+            leg_b = np.full(total, -1, dtype=np.int64)
+            leg_strategy = np.ones(total, dtype=np.int64)      # "cowen-cluster"
+            leg_phases = np.ones(total, dtype=np.int64)
+            leg_terminal = np.zeros(total, dtype=bool)
+            tree_pos = leg_lo[has_tree] + 1
+            leg_kind[tree_pos] = LEG_TREE
+            leg_a[tree_pos] = home_tree[dst[has_tree]]
+            leg_b[tree_pos] = target_slot[dst[has_tree]]
+            leg_strategy[tree_pos] = 2                         # "cowen-landmark"
+            leg_phases[tree_pos] = 2
+            leg_terminal[tree_pos] = True
+            return BatchPlans(
+                num=num, leg_kind=leg_kind, leg_a=leg_a, leg_b=leg_b,
+                leg_strategy=leg_strategy, leg_phases=leg_phases,
+                leg_terminal=leg_terminal, leg_lo=leg_lo,
+                leg_hi=leg_lo + counts,
+                out_strategy=np.zeros(num, dtype=np.int64),    # "cowen"
+                out_phases=np.zeros(num, dtype=np.int64),
+                strategy_names=["cowen", "cowen-cluster", "cowen-landmark"],
+                header_bits=np.full(num, header, dtype=np.int64))
+
         return ForwardingProgram(self.graph, plan, bank=bank,
                                  tables=[self._cluster_table],
-                                 header_bits=header, label="cowen")
+                                 header_bits=header, label="cowen",
+                                 batch_planner=plan_batch)
 
     # ------------------------------------------------------------------ #
     # routing

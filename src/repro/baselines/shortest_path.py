@@ -222,6 +222,8 @@ class ShortestPathRouting(RoutingSchemeInstance):
         from repro.routing.forwarding import (DenseNextHopTable,
                                               ForwardingProgram, PacketPlan,
                                               table_leg)
+        from repro.routing.forwarding import LEG_TABLE
+        from repro.routing.kernels import BatchPlans
 
         table = DenseNextHopTable(self._next_hop)
         header = self.header_bits()
@@ -232,8 +234,30 @@ class ShortestPathRouting(RoutingSchemeInstance):
         def plan(source: int, destination: int) -> PacketPlan:
             return self_plan if source == destination else table_plan
 
+        def plan_batch(src: np.ndarray, dst: np.ndarray) -> BatchPlans:
+            # vectorized sibling of ``plan``: one table leg per non-self pair
+            num = int(src.size)
+            counts = (src != dst).astype(np.int64)
+            leg_lo = np.concatenate(([0], np.cumsum(counts)[:-1])) if num \
+                else np.zeros(0, dtype=np.int64)
+            total = int(counts.sum())
+            return BatchPlans(
+                num=num,
+                leg_kind=np.full(total, LEG_TABLE, dtype=np.int8),
+                leg_a=np.zeros(total, dtype=np.int64),
+                leg_b=np.full(total, -1, dtype=np.int64),
+                leg_strategy=np.zeros(total, dtype=np.int64),
+                leg_phases=np.ones(total, dtype=np.int64),
+                leg_terminal=np.zeros(total, dtype=bool),
+                leg_lo=leg_lo, leg_hi=leg_lo + counts,
+                out_strategy=np.zeros(num, dtype=np.int64),
+                out_phases=np.zeros(num, dtype=np.int64),
+                strategy_names=["shortest-path"],
+                header_bits=np.full(num, header, dtype=np.int64))
+
         return ForwardingProgram(self.graph, plan, tables=[table],
-                                 header_bits=header, label="shortest-path")
+                                 header_bits=header, label="shortest-path",
+                                 batch_planner=plan_batch)
 
     def route(self, source: int, destination_name: Hashable) -> RouteResult:
         """Follow the per-hop shortest-path tables."""

@@ -192,6 +192,8 @@ def run_traffic_matrix(
     backend: BackendLike = None,
     engine: str = "auto",
     processes: Optional[bool] = None,
+    profile: bool = False,
+    service: bool = False,
 ) -> ExperimentResult:
     """Route ``packets`` packets of model traffic through every (scheme, graph, k).
 
@@ -219,6 +221,10 @@ def run_traffic_matrix(
         statistics either way (the determinism suite asserts it).
     backend:
         Distance-backend spec for each graph's shared scoring oracle.
+    profile / service:
+        Forwarded to :func:`repro.traffic.engine.run_traffic` — per-stage
+        wall-time breakdown (lands in each row as ``profile_<stage>``
+        columns) and the steady-state service-loop mode.
 
     Returns an :class:`ExperimentResult` whose rows mirror :func:`run_matrix`
     field names where the quantities coincide (``avg_stretch``,
@@ -242,11 +248,15 @@ def run_traffic_matrix(
                 build_seconds = time.perf_counter() - start
                 report = run_traffic(scheme, traffic, packets, shards=shards,
                                      batch_size=batch_size, engine=engine,
-                                     oracle=oracle, processes=processes)
+                                     oracle=oracle, processes=processes,
+                                     profile=profile, service=service)
                 row = report.as_row()
                 row.update(graph=graph_label, k=k, n=graph.n,
                            m=graph.num_edges,
                            build_seconds=build_seconds)
+                if report.profile:
+                    row.update({f"profile_{stage}": round(seconds, 4)
+                                for stage, seconds in sorted(report.profile.items())})
                 result.add_row(**row)
     return result
 

@@ -39,6 +39,8 @@ scalar one.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -172,11 +174,16 @@ class TreeBank:
     ``searchsorted`` each over the whole packet batch.
     """
 
+    #: memory budget for the dense ``(tree, node) -> slot`` membership
+    #: matrix (bytes); banks with too many trees keep the sorted-key lookup
+    SLOT_MATRIX_BYTES = 256 << 20
+
     def __init__(self, n: int) -> None:
         self.n = int(n)
         self._trees: List[Tree] = []
         self._ids: Dict[int, int] = {}
         self._frozen = False
+        self._slot_matrix: Optional[np.ndarray] = None
 
     # -- registration ---------------------------------------------------- #
     def add(self, tree: Tree) -> int:
@@ -256,6 +263,29 @@ class TreeBank:
         self._member_slots = cat(member_slot_parts)[morder]
         return self
 
+    def densify_membership(self) -> bool:
+        """Materialize the dense ``(tree, node) -> slot`` matrix if it fits.
+
+        Entry resolution asks "which slot does node ``v`` occupy in tree
+        ``t``" for every packet of every batch; the dense int32 matrix (-1
+        for non-members, exactly the sorted-key miss value) answers with
+        one gather instead of a ``searchsorted`` over every membership key.
+        Skipped — returning ``False`` — when the matrix would exceed
+        ``SLOT_MATRIX_BYTES`` or slot ids overflow int32.
+        """
+        if self._slot_matrix is not None:
+            return True
+        if not self._frozen or not self._trees:
+            return False
+        if (self.num_trees * self.n * 4 > self.SLOT_MATRIX_BYTES
+                or self.num_slots > np.iinfo(np.int32).max):
+            return False
+        matrix = np.full((self.num_trees, self.n), -1, dtype=np.int32)
+        trees = self._member_keys // self.n
+        matrix[trees, self._member_keys - trees * self.n] = self._member_slots
+        self._slot_matrix = matrix
+        return True
+
     # -- queries ---------------------------------------------------------- #
     def slots_of(self, tree_ids: np.ndarray, nodes: np.ndarray) -> np.ndarray:
         """Slot of each ``(tree, graph node)`` pair; ``-1`` for non-members."""
@@ -264,6 +294,19 @@ class TreeBank:
         if self._member_keys.size == 0:
             return np.full(tree_ids.shape, -1, dtype=np.int64)
         keys = tree_ids * self.n + nodes
+        if self._slot_matrix is not None or \
+                (keys.size > 128 and self.densify_membership()):
+            return self._slot_matrix[tree_ids, nodes].astype(np.int64)
+        if keys.size > 128:
+            # skewed batches repeat the same (tree, node) membership query
+            # thousands of times; resolving each distinct key once replaces
+            # the wide cache-missing searchsorted with one over the uniques
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            if 2 * uniq.size <= keys.size:
+                pos = np.searchsorted(self._member_keys, uniq)
+                pos_c = np.minimum(pos, self._member_keys.size - 1)
+                hit = self._member_keys[pos_c] == uniq
+                return np.where(hit, self._member_slots[pos_c], -1)[inverse]
         pos = np.searchsorted(self._member_keys, keys)
         pos_c = np.minimum(pos, self._member_keys.size - 1)
         hit = self._member_keys[pos_c] == keys
@@ -319,11 +362,18 @@ class NextHopTable:
     "miss" that moves a packet to its next leg).
     """
 
+    #: memory budget for cached per-destination next-hop columns (bytes)
+    COLUMN_CACHE_BYTES = 64 << 20
+
     def __init__(self, n: int, keys: np.ndarray, next_hops: np.ndarray) -> None:
         self.n = int(n)
         order = np.argsort(keys, kind="stable")
         self._keys = np.asarray(keys, dtype=np.int64)[order]
         self._next = np.asarray(next_hops, dtype=np.int64)[order]
+        #: destination -> row index into ``_cols`` (-1 = not cached)
+        self._col_rank: Optional[np.ndarray] = None
+        #: dense cached next-hop columns, one row per hot destination
+        self._cols: Optional[np.ndarray] = None
 
     @classmethod
     def from_name_dicts(cls, graph: WeightedGraph,
@@ -401,6 +451,10 @@ class NextHopTable:
         order = np.argsort(merged_keys, kind="stable")
         self._keys = merged_keys[order]
         self._next = merged_next[order]
+        # the cached destination columns snapshot the old entries — drop
+        # them wholesale so the next batch_view rebuilds from live rows
+        self._col_rank = None
+        self._cols = None
         return int(keys.size)
 
     def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
@@ -422,6 +476,57 @@ class NextHopTable:
         if pos < self._keys.size and int(self._keys[pos]) == key:
             return int(self._next[pos])
         return -1
+
+    def _ensure_columns(self, destinations: np.ndarray) -> None:
+        """Cache dense next-hop columns for ``destinations`` (incremental).
+
+        Each cached column ``c`` satisfies ``c[node] == lookup(node, dest)``
+        for every node, so gathering through it is exactly the sorted-key
+        lookup, minus the per-hop ``searchsorted``.  Columns are filled by
+        one O(entries) scan of the sorted rows per extension — not a
+        per-destination binary search — and capped by a memory budget;
+        destinations past the cap simply stay on the searchsorted path.
+        Repeated batches over a concentrated destination set (the traffic
+        engine's regime) amortize the scan to nothing.
+        """
+        if self._keys.size == 0:
+            return
+        cap = int(self.COLUMN_CACHE_BYTES // max(4 * self.n, 1))
+        if cap <= 0:
+            return
+        if self._col_rank is None:
+            self._col_rank = np.full(self.n, -1, dtype=np.int64)
+            self._cols = np.full((0, self.n), -1, dtype=np.int32)
+        uniq = np.unique(np.asarray(destinations, dtype=np.int64))
+        fresh = uniq[self._col_rank[uniq] < 0]
+        room = cap - self._cols.shape[0]
+        if fresh.size == 0 or room <= 0:
+            return
+        fresh = fresh[:room]
+        base = self._cols.shape[0]
+        self._col_rank[fresh] = base + np.arange(fresh.size, dtype=np.int64)
+        new_cols = np.full((fresh.size, self.n), -1, dtype=np.int32)
+        entry_nodes = self._keys // self.n
+        entry_dests = self._keys - entry_nodes * self.n
+        row = self._col_rank[entry_dests] - base
+        sel = row >= 0          # rows of freshly added destinations only
+        new_cols[row[sel], entry_nodes[sel]] = self._next[sel]
+        self._cols = np.concatenate([self._cols, new_cols]) if base \
+            else new_cols
+
+    def batch_view(self, destinations: np.ndarray) -> "_SortedTableView":
+        """A per-batch lookup view with the composite keys staged once.
+
+        The lockstep engine performs one lookup per hop per packet; building
+        the view hoists the dtype conversions and attribute resolution out of
+        the per-step path, and extends the per-destination column cache to
+        cover this batch's destinations, so repeated lookups become dense
+        gathers.  Lookups through the view are identical to :meth:`lookup`
+        (asserted by the regression suite).
+        """
+        self._ensure_columns(destinations)
+        return _SortedTableView(self._keys, self._next, self.n,
+                                self._col_rank, self._cols)
 
     def entries_per_node(self) -> np.ndarray:
         """Number of stored entries per node (space-accounting helper)."""
@@ -504,9 +609,84 @@ class DenseNextHopTable:
         """Scalar lookup (``-1`` when absent)."""
         return int(self._matrix[int(node), int(destination)])
 
+    def batch_view(self, destinations: np.ndarray) -> "_DenseTableView":
+        """A per-batch lookup view over the raveled next-hop matrix.
+
+        The flat row view is materialized once per batch, so each lockstep
+        step is a single fused-index gather (``flat[node * n + dest]``)
+        instead of the generic 2-D fancy-indexing path.  Lookups through the
+        view are identical to :meth:`lookup`.
+        """
+        return _DenseTableView(self._matrix, self.n)
+
     def entries_per_node(self) -> np.ndarray:
         """Number of stored entries per node (space-accounting helper)."""
         return (self._matrix >= 0).sum(axis=1, dtype=np.int64)
+
+
+class _SortedTableView:
+    """Per-batch cached lookup view of a :class:`NextHopTable`."""
+
+    __slots__ = ("_keys", "_next", "n", "_col_rank", "_cols", "jit_flat")
+
+    def __init__(self, keys: np.ndarray, next_hops: np.ndarray, n: int,
+                 col_rank: Optional[np.ndarray] = None,
+                 cols: Optional[np.ndarray] = None) -> None:
+        self._keys = keys
+        self._next = next_hops
+        self.n = n
+        self._col_rank = col_rank if cols is not None and cols.size else None
+        self._cols = cols if cols is not None and cols.size else None
+        self.jit_flat = None   # sorted tables use the numpy cohort kernel
+
+    def _sorted_lookup(self, nodes: np.ndarray,
+                       destinations: np.ndarray) -> np.ndarray:
+        keys = self._keys
+        if keys.size == 0:
+            return np.full(nodes.shape, -1, dtype=np.int64)
+        wanted = nodes * self.n + destinations
+        pos = np.searchsorted(keys, wanted)
+        pos_c = np.minimum(pos, keys.size - 1)
+        return np.where(keys[pos_c] == wanted, self._next[pos_c], -1)
+
+    def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+        """Batch lookup identical to :meth:`NextHopTable.lookup`.
+
+        ``nodes`` / ``destinations`` must already be int64 index arrays (the
+        engine's working arrays are), so no conversion runs per step.
+        Destinations covered by the table's column cache resolve with a
+        dense gather; the rest fall back to the ``searchsorted`` path —
+        the cached columns store exactly the sorted rows (misses included,
+        as ``-1``), so the split is invisible in the results.
+        """
+        if self._cols is None:
+            return self._sorted_lookup(nodes, destinations)
+        rank = self._col_rank[destinations]
+        hit = rank >= 0
+        if hit.all():
+            return self._cols[rank, nodes].astype(np.int64)
+        out = np.empty(nodes.shape, dtype=np.int64)
+        out[hit] = self._cols[rank[hit], nodes[hit]]
+        miss = ~hit
+        out[miss] = self._sorted_lookup(nodes[miss], destinations[miss])
+        return out
+
+
+class _DenseTableView:
+    """Per-batch cached lookup view of a :class:`DenseNextHopTable`."""
+
+    __slots__ = ("_flat", "n", "jit_flat")
+
+    def __init__(self, matrix: np.ndarray, n: int) -> None:
+        flat = matrix.ravel()          # C-contiguous: a view, not a copy
+        self._flat = flat
+        self.n = n
+        #: raveled matrix handed to the optional numba kernel
+        self.jit_flat = flat
+
+    def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+        """Batch lookup identical to :meth:`DenseNextHopTable.lookup`."""
+        return self._flat[nodes * self.n + destinations].astype(np.int64)
 
 
 class ForwardingProgram:
@@ -526,13 +706,20 @@ class ForwardingProgram:
                  bank: Optional[TreeBank] = None,
                  tables: Sequence[NextHopTable] = (),
                  header_bits: int = 0,
-                 label: str = "") -> None:
+                 label: str = "",
+                 batch_planner: Optional[Callable] = None) -> None:
         self.graph = graph
         self._planner = planner
         self.bank = (bank if bank is not None else TreeBank(graph.n)).freeze()
         self.tables = list(tables)
         self.header_bits = int(header_bits)
         self.label = label
+        #: optional vectorized planner ``(src, dst) -> kernels.BatchPlans``;
+        #: when set, the fused engine plans whole batches without ever
+        #: instantiating per-packet :class:`PacketPlan` objects.  It must
+        #: produce exactly the legs ``plan()`` would (the parity suite
+        #: asserts walk-identical outcomes).
+        self.batch_planner = batch_planner
 
     def plan(self, source: int, destination: int) -> PacketPlan:
         """Plan the legs of one request (both endpoints are node indices)."""
@@ -613,16 +800,25 @@ class LockstepOutcome:
 
 def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
                  destinations: Sequence[int],
-                 materialize: bool = True) -> LockstepOutcome:
-    """Advance every packet one hop per step over the compiled tables.
+                 materialize: bool = True,
+                 kernels: Optional[bool] = None,
+                 timings: Optional[Dict[str, float]] = None) -> LockstepOutcome:
+    """Advance a whole batch of packets over the compiled tables.
 
-    All pending packets move together: each engine step performs one tree-bank
-    ``step_toward`` (a gather + one ``searchsorted``) for every tree-walking
-    packet, one table lookup per next-hop phase, and one array append for the
-    hop record.  Hop caps mirror the scalar loops and are enforced per packet
-    as array comparisons.  With ``materialize=False`` the per-packet
-    ``RouteResult`` objects (Python path lists) are skipped and only the
-    outcome arrays are returned — the batch-evaluation fast path.
+    By default the batch runs through the **fused cohort kernels**
+    (:mod:`repro.routing.kernels`): packets are bucketed by leg kind and each
+    cohort advances to leg completion per kernel call, with vectorized batch
+    planning for schemes that provide one.  ``kernels=False`` (or the env
+    kill-switch ``REPRO_KERNELS=0``) selects the legacy one-hop-per-step
+    engine below; both produce bit-identical walks, hop records and outcome
+    metadata (asserted by ``tests/test_lockstep_engine.py``).
+
+    Hop caps mirror the scalar loops (``2m + 1`` per tree leg, ``n + 1`` per
+    table phase) under either engine.  With ``materialize=False`` the
+    per-packet ``RouteResult`` objects (Python path lists) are skipped and
+    only the outcome arrays are returned — the batch-evaluation fast path.
+    ``timings``, when given, accumulates wall seconds under ``"plan"`` and
+    ``"step"``.
     """
     graph = program.graph
     bank = program.bank
@@ -637,6 +833,14 @@ def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
     src = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     dst = np.atleast_1d(np.asarray(destinations, dtype=np.int64))
     require(src.shape == dst.shape, "sources and destinations must have equal length")
+    if kernels is None:
+        kernels = os.environ.get("REPRO_KERNELS", "1") != "0"
+    if kernels:
+        from repro.routing.kernels import run_fused
+
+        return run_fused(program, src, dst, materialize=materialize,
+                         timings=timings)
+    t_plan = time.perf_counter() if timings is not None else 0.0
     num = int(src.size)
     plans = [program.plan(u, v) for u, v in zip(src.tolist(), dst.tolist())]
 
@@ -727,6 +931,11 @@ def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
     # ---------------------------------------------------------------- #
     # lockstep execution
     # ---------------------------------------------------------------- #
+    if timings is not None:
+        t_step = time.perf_counter()
+        timings["plan"] = timings.get("plan", 0.0) + (t_step - t_plan)
+    # per-batch table views: composite keys / row views staged once, not per step
+    table_views = [table.batch_view(dst) for table in program.tables]
     mode = np.zeros(num, dtype=np.int8)            # everyone starts at ENTRY
     leg_ptr = leg_lo.copy()
     node = src.copy()
@@ -842,7 +1051,7 @@ def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
             tabling = tabling[~capped]
             for table_id in np.unique(table_of[tabling]) if tabling.size else ():
                 sel = tabling[table_of[tabling] == table_id]
-                nxt = program.tables[int(table_id)].lookup(node[sel], dst[sel])
+                nxt = table_views[int(table_id)].lookup(node[sel], dst[sel])
                 miss = nxt < 0
                 missed = sel[miss]
                 leg_ptr[missed] += 1
@@ -900,6 +1109,8 @@ def run_lockstep(program: ForwardingProgram, sources: Sequence[int],
             if notes_of[p]:
                 result.notes = dict(notes_of[p])
             results.append(result)
+    if timings is not None:
+        timings["step"] = timings.get("step", 0.0) + (time.perf_counter() - t_step)
     return LockstepOutcome(
         results=results, hop_index=hop_index, hop_heads=hop_heads,
         hop_tails=hop_tails, cost_override=cost_override, found=found,

@@ -57,8 +57,77 @@ from repro.utils.validation import require
 #: default packets per batch (the streaming granularity)
 DEFAULT_BATCH_SIZE = 8192
 
+#: default batches per service-loop epoch (one stats flush per epoch)
+DEFAULT_EPOCH_BATCHES = 16
+
+#: memory budget for pinned hot-destination distance rows (bytes)
+HOT_ROW_BYTES = 256 << 20
+
+#: hard cap on pinned hot rows regardless of graph size
+HOT_ROW_CAP = 4096
+
 #: the simulator's engine-spec resolution, shared so both layers agree
 resolve_traffic_engine = resolve_engine_spec
+
+#: run-scoped extras inherited by forked shard workers (fork copies parent
+#: memory, so anything placed here before the fork is visible in every
+#: worker without widening :func:`stream_shard`'s public signature)
+_RUN_CONTEXT: Dict[str, object] = {}
+
+
+class _HotRowCache:
+    """Pinned distance rows for the traffic model's hot destinations.
+
+    Under skewed traffic most packets score against a small destination
+    head (``model.hot_destinations()``).  This cache pins those rows as one
+    contiguous ``(k, n)`` matrix, so per-batch scoring is a single fancy
+    gather ``rows[rank[dst], src]`` instead of a per-source group-and-read
+    through the oracle.  Distances come from :meth:`DistanceOracle.rows` —
+    the exact arrays the oracle would serve — so scores are bit-identical
+    with and without the cache.  Rows are capped by a memory budget; misses
+    (and every row past the cap) fall back to the oracle unchanged.
+    """
+
+    __slots__ = ("rank", "rows")
+
+    def __init__(self, oracle: DistanceOracle, hot: np.ndarray, n: int) -> None:
+        hot = np.unique(np.asarray(hot, dtype=np.int64))
+        cap = min(HOT_ROW_CAP, max(int(HOT_ROW_BYTES // max(8 * n, 1)), 1))
+        hot = hot[:cap]
+        self.rank = np.full(n, -1, dtype=np.int64)
+        self.rank[hot] = np.arange(hot.size, dtype=np.int64)
+        self.rows = np.ascontiguousarray(oracle.rows(hot))
+
+    def pair_distances(self, oracle: DistanceOracle, dst: np.ndarray,
+                       src: np.ndarray) -> np.ndarray:
+        """``d(dst[i], src[i])`` with hot rows served from the pinned matrix."""
+        rank = self.rank[dst]
+        hit = rank >= 0
+        if hit.all():
+            return self.rows[rank, src]
+        out = np.empty(dst.size)
+        out[hit] = self.rows[rank[hit], src[hit]]
+        miss = ~hit
+        oracle.prefetch(np.unique(dst[miss]))
+        out[miss] = oracle.pair_distances(dst[miss], src[miss])
+        return out
+
+
+class _BatchBuffers:
+    """Warm per-shard scratch reused across service-loop batches.
+
+    Steady-state service shards route the same batch size forever; the
+    buffers keep the per-batch stretch scratch allocated once per shard
+    instead of once per batch.  Values folded into stats are copies
+    (``stretch[measured]`` is a fancy-index copy), so reuse never aliases
+    anything a later batch could clobber.
+    """
+
+    __slots__ = ("capacity", "stretch")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self.stretch = np.ones(self.capacity)
 
 
 def num_batches(packets: int, batch_size: int) -> int:
@@ -77,23 +146,44 @@ def batch_size_of(batch_index: int, packets: int, batch_size: int) -> int:
     return int(min(batch_size, packets - batch_index * batch_size))
 
 
+def _tick(timings: Optional[Dict[str, float]]) -> float:
+    """Stage-timer read (0.0 when profiling is off — avoids clock calls)."""
+    return time.perf_counter() if timings is not None else 0.0
+
+
+def _lap(timings: Optional[Dict[str, float]], stage: str, t0: float) -> None:
+    """Accumulate wall seconds since ``t0`` under ``stage``."""
+    if timings is not None:
+        timings[stage] = timings.get(stage, 0.0) + (time.perf_counter() - t0)
+
+
 def _route_batch_lockstep(program, graph: WeightedGraph, src: np.ndarray,
-                          dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                          dst: np.ndarray,
+                          timings: Optional[Dict[str, float]] = None,
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Route one batch through the lockstep engine; verify; reduce.
 
     Returns ``(found, costs, hops)`` — the walks themselves are dropped once
     the CSR gather has certified every hop and accumulated the true costs.
+    ``timings`` accumulates per-stage seconds (``plan``/``step`` from the
+    engine, ``verify`` here).
     """
-    outcome = run_lockstep(program, src, dst, materialize=False)
+    outcome = run_lockstep(program, src, dst, materialize=False,
+                           timings=timings)
+    t0 = _tick(timings)
     costs = verify_lockstep_walks(graph, outcome, src.size, dst)
     real = outcome.hop_heads != outcome.hop_tails
     hops = np.bincount(outcome.hop_index[real], minlength=src.size)
+    _lap(timings, "verify", t0)
     return outcome.found, costs, hops
 
 
 def _route_batch_scalar(scheme, graph: WeightedGraph, src: np.ndarray,
-                        dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                        dst: np.ndarray,
+                        timings: Optional[Dict[str, float]] = None,
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Reference engine: per-packet ``route()``, identical reductions."""
+    t0 = _tick(timings)
     names = graph.names_view()
     found = np.empty(src.size, dtype=bool)
     idx_parts: List[int] = []
@@ -113,17 +203,23 @@ def _route_batch_scalar(scheme, graph: WeightedGraph, src: np.ndarray,
             idx_parts.append(i)
             head_parts.append(a)
             tail_parts.append(b)
+    _lap(timings, "step", t0)
+    t0 = _tick(timings)
     idx = np.asarray(idx_parts, dtype=np.int64)
     heads = np.asarray(head_parts, dtype=np.int64)
     tails = np.asarray(tail_parts, dtype=np.int64)
     costs = gather_hop_costs(graph, idx, heads, tails, src.size)
     real = heads != tails
     hops = np.bincount(idx[real], minlength=src.size)
+    _lap(timings, "verify", t0)
     return found, costs, hops
 
 
 def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
-                     src: np.ndarray, dst: np.ndarray):
+                     src: np.ndarray, dst: np.ndarray,
+                     cache: Optional[_HotRowCache] = None,
+                     buffers: Optional[_BatchBuffers] = None,
+                     timings: Optional[Dict[str, float]] = None):
     """Route one batch, verify it, and score it against exact distances.
 
     The shared per-batch body of :func:`stream_shard` and
@@ -131,54 +227,104 @@ def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
     exact reference always certifies the same quantity the streaming engine
     reduces.  Returns ``(found, hops, finite, measured, stretch)`` where
     ``stretch`` is 1.0 outside the ``measured`` (found & finite-distance)
-    mask and for zero-distance trivial pairs.
+    mask and for zero-distance trivial pairs.  ``cache`` serves hot
+    destination rows without touching the oracle; ``buffers`` (service
+    loop) reuses the stretch scratch across batches; both are exact.
     """
     graph = scheme.graph
     if engine == "lockstep":
-        found, costs, hops = _route_batch_lockstep(program, graph, src, dst)
+        found, costs, hops = _route_batch_lockstep(program, graph, src, dst,
+                                                   timings=timings)
     else:
-        found, costs, hops = _route_batch_scalar(scheme, graph, src, dst)
-    oracle.prefetch(np.unique(dst))
-    shortest = oracle.pair_distances(dst, src)   # symmetric: dst rows reused
+        found, costs, hops = _route_batch_scalar(scheme, graph, src, dst,
+                                                 timings=timings)
+    t0 = _tick(timings)
+    if cache is not None:
+        shortest = cache.pair_distances(oracle, dst, src)
+    else:
+        oracle.prefetch(np.unique(dst))
+        shortest = oracle.pair_distances(dst, src)   # symmetric: dst rows reused
     finite = np.isfinite(shortest)
     measured = found & finite
-    stretch = np.ones(src.size)
+    if buffers is not None and src.size <= buffers.capacity:
+        stretch = buffers.stretch[:src.size]
+        stretch.fill(1.0)
+    else:
+        stretch = np.ones(src.size)
     np.divide(costs, shortest, out=stretch, where=measured & (shortest > 0))
+    _lap(timings, "score", t0)
     return found, hops, finite, measured, stretch
 
 
 def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
                  packets: int, batch_size: int = DEFAULT_BATCH_SIZE,
                  engine: str = "lockstep", shard: int = 0, shards: int = 1,
-                 oracle: Optional[DistanceOracle] = None) -> TrafficStats:
+                 oracle: Optional[DistanceOracle] = None,
+                 profile_out: Optional[Dict[str, float]] = None,
+                 service: bool = False,
+                 epoch_batches: Optional[int] = None) -> TrafficStats:
     """Stream one shard's batches (``shard, shard + shards, ...``) to stats.
 
     This is the worker body of the sharded driver and the whole driver when
     ``shards == 1``.  Per batch: regenerate the packets, route them, verify
-    every hop, score stretch against exact distances (rows prefetched for
-    the batch's *destination* set — the small side under skewed traffic;
-    distances are symmetric), and fold the reductions into the stats.
+    every hop, score stretch against exact distances (hot destination rows
+    served from the run's pinned cache; the rest prefetched per batch), and
+    fold the reductions into the stats.
+
+    ``service=True`` switches to the steady-state service loop: the shard
+    keeps one warm set of batch buffers and flushes its statistics through a
+    fresh per-epoch :class:`TrafficStats` every ``epoch_batches`` batches,
+    merging epochs into the shard total.  Because epochs partition the
+    shard's batch sequence in index order and ``TrafficStats`` merges are
+    exact, every official statistic is bit-identical to batch mode (the P²
+    diagnostics become epoch-weighted averages — documented as
+    order-dependent).  ``profile_out``, when given, is filled with
+    accumulated per-stage wall seconds (plan/step/verify/score/reduce).
     """
     graph = scheme.graph
     oracle = oracle or DistanceOracle(graph)
     engine = resolve_traffic_engine(scheme, engine)
     program = scheme.compiled_forwarding() if engine == "lockstep" else None
-    stats = TrafficStats()
+    cache = _RUN_CONTEXT.get("hot_cache")
+    timings: Optional[Dict[str, float]] = {} if profile_out is not None else None
     total = num_batches(packets, batch_size)
-    for b in range(shard, total, shards):
-        size = batch_size_of(b, packets, batch_size)
-        src, dst = model.batch(b, size)
-        found, hops, finite, measured, stretch = _route_and_score(
-            scheme, program, oracle, engine, src, dst)
-        stats.update_batch(
-            b,
-            stretch_values=stretch[measured],
-            hop_values=hops,
-            packets=size,
-            delivered=int(np.count_nonzero(found)),
-            failures=int(np.count_nonzero(~found & finite)),
-            unreachable=int(np.count_nonzero(~finite)),
-        )
+    my_batches = range(shard, total, shards)
+
+    def run_batches(indices, into: TrafficStats,
+                    buffers: Optional[_BatchBuffers] = None) -> None:
+        for b in indices:
+            size = batch_size_of(b, packets, batch_size)
+            src, dst = model.batch(b, size)
+            found, hops, finite, measured, stretch = _route_and_score(
+                scheme, program, oracle, engine, src, dst,
+                cache=cache, buffers=buffers, timings=timings)
+            t0 = _tick(timings)
+            into.update_batch(
+                b,
+                stretch_values=stretch[measured],
+                hop_values=hops,
+                packets=size,
+                delivered=int(np.count_nonzero(found)),
+                failures=int(np.count_nonzero(~found & finite)),
+                unreachable=int(np.count_nonzero(~finite)),
+            )
+            _lap(timings, "reduce", t0)
+
+    stats = TrafficStats()
+    if service:
+        epoch = int(epoch_batches or DEFAULT_EPOCH_BATCHES)
+        require(epoch >= 1, "an epoch must cover at least one batch")
+        buffers = _BatchBuffers(batch_size)
+        pending = list(my_batches)
+        for lo in range(0, len(pending), epoch):
+            epoch_stats = TrafficStats()
+            run_batches(pending[lo:lo + epoch], epoch_stats, buffers)
+            stats.merge(epoch_stats)
+    else:
+        run_batches(my_batches, stats)
+    if profile_out is not None and timings:
+        for stage, seconds in timings.items():
+            profile_out[stage] = profile_out.get(stage, 0.0) + seconds
     return stats
 
 
@@ -195,6 +341,13 @@ class TrafficReport:
     processes: bool
     seconds: float
     stats: TrafficStats
+    #: per-stage wall seconds (plan/step/verify/score/reduce) summed across
+    #: shards; only filled when the run requested ``profile=True``
+    profile: Optional[Dict[str, float]] = None
+    #: whether the run used the steady-state service loop
+    service: bool = False
+    #: whether program arrays / hot rows were published via shared memory
+    shared_memory: bool = False
 
     @property
     def pps(self) -> float:
@@ -256,13 +409,17 @@ def processes_enabled() -> bool:
 
 
 def _run_sharded_processes(scheme, model, packets, batch_size, engine, shards,
-                           oracle) -> TrafficStats:
-    """Fork one worker per shard; merge their stats.
+                           oracle, profile: bool = False,
+                           service: bool = False,
+                           epoch_batches: Optional[int] = None,
+                           ) -> Tuple[TrafficStats, Optional[Dict[str, float]]]:
+    """Fork one worker per shard; merge their stats (and stage profiles).
 
     The compiled program / CSR / oracle pages are shared copy-on-write with
-    the parent (fork start method — no pickling of the program, ever).  A
-    worker failure surfaces as a raised :class:`RuntimeError` with the
-    worker's traceback text.
+    the parent (fork start method — no pickling of the program, ever), and
+    arrays the caller published through a :class:`~repro.traffic.shm.SharedArena`
+    are true shared memory.  A worker failure surfaces as a raised
+    :class:`RuntimeError` with the worker's traceback text.
     """
     import multiprocessing
     import queue as queue_module
@@ -272,31 +429,43 @@ def _run_sharded_processes(scheme, model, packets, batch_size, engine, shards,
 
     def worker(shard_id: int) -> None:
         try:
+            # only non-default extras are forwarded, so tests stubbing
+            # stream_shard with its original signature keep working
+            extra: Dict[str, object] = {}
+            prof: Optional[Dict[str, float]] = None
+            if profile:
+                prof = {}
+                extra["profile_out"] = prof
+            if service:
+                extra["service"] = True
+                extra["epoch_batches"] = epoch_batches
             stats = stream_shard(scheme, model, packets, batch_size=batch_size,
                                  engine=engine, shard=shard_id, shards=shards,
-                                 oracle=oracle)
-            queue.put((shard_id, stats, None))
+                                 oracle=oracle, **extra)
+            queue.put((shard_id, stats, None, prof))
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             import traceback
 
-            queue.put((shard_id, None, traceback.format_exc() or repr(exc)))
+            queue.put((shard_id, None, traceback.format_exc() or repr(exc),
+                       None))
 
     procs = [ctx.Process(target=worker, args=(shard_id,), daemon=True)
              for shard_id in range(shards)]
     for proc in procs:
         proc.start()
     per_shard: Dict[int, TrafficStats] = {}
+    per_shard_prof: Dict[int, Optional[Dict[str, float]]] = {}
     failures: List[str] = []
     while len(per_shard) + len(failures) < shards:
         try:
-            shard_id, stats, error = queue.get(timeout=1.0)
+            shard_id, stats, error, prof = queue.get(timeout=1.0)
         except queue_module.Empty:
             # a worker killed by the kernel (OOM, segfault) never reaches
             # queue.put — without this liveness check the parent would block
             # on the queue forever
             if all(proc.exitcode is not None for proc in procs):
                 try:
-                    shard_id, stats, error = queue.get(timeout=2.0)  # last flush
+                    shard_id, stats, error, prof = queue.get(timeout=2.0)  # last flush
                 except queue_module.Empty:
                     exits = [(proc.pid, proc.exitcode) for proc in procs]
                     raise RuntimeError(
@@ -308,6 +477,7 @@ def _run_sharded_processes(scheme, model, packets, batch_size, engine, shards,
             failures.append(f"shard {shard_id}:\n{error}")
         else:
             per_shard[shard_id] = stats
+            per_shard_prof[shard_id] = prof
     for proc in procs:
         proc.join()
     if failures:
@@ -321,14 +491,22 @@ def _run_sharded_processes(scheme, model, packets, batch_size, engine, shards,
         else:
             merged.merge(per_shard[shard_id])
     assert merged is not None
-    return merged
+    merged_prof: Optional[Dict[str, float]] = None
+    if profile:
+        merged_prof = {}
+        for shard_id in sorted(per_shard_prof):
+            for stage, seconds in (per_shard_prof[shard_id] or {}).items():
+                merged_prof[stage] = merged_prof.get(stage, 0.0) + seconds
+    return merged, merged_prof
 
 
 def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
                 packets: int, shards: int = 1,
                 batch_size: int = DEFAULT_BATCH_SIZE, engine: str = "auto",
                 oracle: Optional[DistanceOracle] = None,
-                processes: Optional[bool] = None) -> TrafficReport:
+                processes: Optional[bool] = None, profile: bool = False,
+                service: bool = False, epoch_batches: Optional[int] = None,
+                shared_memory: Optional[bool] = None) -> TrafficReport:
     """Route ``packets`` packets of ``model`` traffic through ``scheme``.
 
     Parameters
@@ -346,6 +524,20 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
     oracle:
         Shared distance oracle for exact stretch scoring (defaults to
         backend auto-selection by graph size).
+    profile:
+        Collect per-stage wall seconds (plan/step/verify/score/reduce),
+        summed across shards, into ``report.profile``.
+    service / epoch_batches:
+        Steady-state service loop: shards reuse warm batch buffers and
+        flush statistics through per-epoch :class:`TrafficStats` merges
+        every ``epoch_batches`` batches.  Official statistics are
+        bit-identical to batch mode (see :func:`stream_shard`).
+    shared_memory:
+        Publish the compiled program's arrays and the pinned hot
+        destination-distance rows into ``multiprocessing.shared_memory``
+        for the duration of the run (zero-copy across forked shards).
+        Defaults to on exactly when worker processes are used; the
+        ``REPRO_TRAFFIC_SHM=0`` kill-switch overrides everything.
 
     Returns a :class:`TrafficReport`; raises if any routed walk fails hop
     verification or the merged shards did not cover every batch exactly once.
@@ -354,33 +546,70 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
     graph = scheme.graph
     oracle = oracle or DistanceOracle(graph)
     engine = resolve_traffic_engine(scheme, engine)
-    if engine == "lockstep":
-        scheme.compiled_forwarding()   # compile once, pre-fork
+    program = scheme.compiled_forwarding() if engine == "lockstep" else None
     graph.to_scipy_csr()               # warm the shared CSR cache, pre-fork
     graph.component_ids()
     hot = model.hot_destinations()
-    if hot is not None:
+    hot_cache: Optional[_HotRowCache] = None
+    if hot is not None and np.asarray(hot).size:
         # fill the hot destinations' distance rows once, pre-fork: under a
         # lazy backend every shard scores against the same concentrated
         # destination set, and pages filled after the fork are per-worker
         # (copy-on-write has diverged), so a cold oracle would re-run the
-        # identical Dijkstras in every worker
+        # identical Dijkstras in every worker.  Then pin the rows as one
+        # contiguous matrix so hot-batch scoring is a single gather.
         oracle.prefetch(hot)
+        hot_cache = _HotRowCache(oracle, np.asarray(hot), graph.n)
+        if program is not None:
+            # warm each sorted table's per-destination column cache on the
+            # hot set pre-fork so forked shards inherit (and, under shared
+            # memory, share) the dense columns instead of building them
+            # once per worker
+            for table in program.tables:
+                table.batch_view(np.asarray(hot, dtype=np.int64))
     use_processes = processes if processes is not None else shards > 1
     use_processes = bool(use_processes) and shards > 1 and processes_enabled()
 
+    arena = None
+    use_shm = bool(shared_memory) if shared_memory is not None else use_processes
+    if use_shm:
+        from repro.traffic.shm import SharedArena, shm_enabled
+
+        if shm_enabled():
+            arena = SharedArena()
+            if program is not None:
+                arena.publish_program(program)
+            if hot_cache is not None:
+                arena.adopt(hot_cache, "rows")
+        else:
+            use_shm = False
+
+    prof: Optional[Dict[str, float]] = {} if profile else None
+    _RUN_CONTEXT["hot_cache"] = hot_cache
     start = time.perf_counter()
-    if use_processes:
-        stats = _run_sharded_processes(scheme, model, packets, batch_size,
-                                       engine, shards, oracle)
-    else:
-        stats = stream_shard(scheme, model, packets, batch_size=batch_size,
-                             engine=engine, shard=0, shards=shards,
-                             oracle=oracle)
-        for shard in range(1, shards):
-            stats.merge(stream_shard(scheme, model, packets,
-                                     batch_size=batch_size, engine=engine,
-                                     shard=shard, shards=shards, oracle=oracle))
+    try:
+        if use_processes:
+            stats, worker_prof = _run_sharded_processes(
+                scheme, model, packets, batch_size, engine, shards, oracle,
+                profile=profile, service=service, epoch_batches=epoch_batches)
+            if prof is not None and worker_prof:
+                prof.update(worker_prof)
+        else:
+            stats = stream_shard(scheme, model, packets, batch_size=batch_size,
+                                 engine=engine, shard=0, shards=shards,
+                                 oracle=oracle, profile_out=prof,
+                                 service=service, epoch_batches=epoch_batches)
+            for shard in range(1, shards):
+                stats.merge(stream_shard(scheme, model, packets,
+                                         batch_size=batch_size, engine=engine,
+                                         shard=shard, shards=shards,
+                                         oracle=oracle, profile_out=prof,
+                                         service=service,
+                                         epoch_batches=epoch_batches))
+    finally:
+        _RUN_CONTEXT.pop("hot_cache", None)
+        if arena is not None:
+            arena.close()
     seconds = time.perf_counter() - start
 
     expected = set(range(num_batches(packets, batch_size)))
@@ -391,7 +620,9 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
     return TrafficReport(
         scheme=scheme.scheme_name, model=model.name, engine=engine,
         packets=packets, shards=shards, batch_size=batch_size,
-        processes=use_processes, seconds=seconds, stats=stats)
+        processes=use_processes, seconds=seconds, stats=stats,
+        profile=prof, service=bool(service),
+        shared_memory=arena is not None)
 
 
 def run_traffic_exact(scheme: RoutingSchemeInstance, model: TrafficModel,

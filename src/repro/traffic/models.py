@@ -129,16 +129,20 @@ class TrafficModel:
               size: int) -> Tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
 
-    def hot_destinations(self) -> Optional[np.ndarray]:
-        """Destinations likely to dominate this model's traffic, or ``None``.
+    def hot_destinations(self) -> np.ndarray:
+        """Destinations likely to dominate this model's traffic (always an array).
 
         The sharded engine prefetches these nodes' distance rows **before**
-        forking workers, so under a lazy backend the (identical) Dijkstra
-        fills run once in the parent and reach every worker copy-on-write
-        instead of being recomputed per shard.  Models without a concentrated
-        destination set return ``None``.
+        forking workers (and publishes them as the zero-copy shared-memory
+        hot-row cache), so under a lazy backend the (identical) Dijkstra
+        fills run once in the parent and reach every worker instead of being
+        recomputed per shard.  The contract is uniform across all bundled
+        models: every model returns an int64 index array — *empty* when the
+        model has no concentrated destination set — so single-vs-sharded
+        comparisons run at equal cache state for every model (asserted by
+        the conformance suite).
         """
-        return None
+        return np.zeros(0, dtype=np.int64)
 
     def describe(self) -> Dict[str, object]:
         """Model parameters for reports/benches."""
@@ -154,6 +158,10 @@ class UniformTraffic(TrafficModel):
         src = self.index.uniform_nodes(rng, size)
         dst = self.index.partner_uniform(rng, src)
         return src, dst
+
+    def hot_destinations(self):
+        """Explicitly empty: uniform traffic has no concentrated destinations."""
+        return np.zeros(0, dtype=np.int64)
 
 
 class ZipfTraffic(TrafficModel):
@@ -225,6 +233,11 @@ class GravityTraffic(TrafficModel):
         self._mass = np.power(np.maximum(degrees, 0.0), self.alpha)
         self._nodes, self._cum = self.index.weighted_cdf(self._mass)
         self._build_neighborhoods(int(max_neighbors))
+        # hot-destination contract: the top-k eligible nodes by degree mass —
+        # the heads of the global gravity draw (ties broken by node id)
+        k = min(64, self._nodes.size)
+        order = np.lexsort((self._nodes, -self._mass[self._nodes]))
+        self._hot = np.sort(self._nodes[order[:k]]).astype(np.int64)
 
     def _build_neighborhoods(self, max_neighbors: int) -> None:
         adj = (self.graph.to_scipy_csr() > 0).astype(np.int32).tocsr()
@@ -268,6 +281,10 @@ class GravityTraffic(TrafficModel):
                 candidates[bad] = self.index.partner_uniform(rng, s[bad])
             dst[far] = candidates
         return src, dst
+
+    def hot_destinations(self):
+        """Top-k degree-mass nodes: the heavy head of the gravity draw."""
+        return self._hot
 
     def describe(self):
         out = super().describe()

@@ -204,6 +204,76 @@ class TestNextHopTable:
         assert hits.tolist() == [1, 2, -1]
         assert table.lookup(np.asarray([0]), np.asarray([3]))[0] == -1
 
+    def _random_table(self, n=40, entries=300, seed=0):
+        rng = np.random.default_rng(seed)
+        nodes = rng.integers(0, n, size=entries)
+        dests = rng.integers(0, n, size=entries)
+        keys, keep = np.unique(nodes * n + dests, return_index=True)
+        return NextHopTable.from_arrays(
+            n, nodes[keep], dests[keep],
+            rng.integers(0, n, size=keep.size)), n
+
+    def test_batch_view_lookup_identical_to_table(self):
+        """The regression contract of the per-batch views: every lookup
+        through a view — dense column cache hits and sorted fallbacks
+        alike — equals ``table.lookup`` on the same pairs."""
+        table, n = self._random_table(seed=3)
+        rng = np.random.default_rng(4)
+        queries_nodes = rng.integers(0, n, size=500)
+        queries_dests = rng.integers(0, n, size=500)
+        # view over a destination subset: those dests hit the column cache,
+        # the rest exercise the searchsorted fallback inside one lookup
+        view = table.batch_view(np.unique(queries_dests)[: n // 3])
+        expected = table.lookup(queries_nodes, queries_dests)
+        got = view.lookup(queries_nodes.astype(np.int64),
+                          queries_dests.astype(np.int64))
+        assert np.array_equal(got, expected)
+        assert got.dtype == np.int64
+        # growing the cache with a second view keeps lookups identical
+        view2 = table.batch_view(queries_dests)
+        assert np.array_equal(
+            view2.lookup(queries_nodes.astype(np.int64),
+                         queries_dests.astype(np.int64)), expected)
+
+    def test_batch_view_of_empty_table(self):
+        table = NextHopTable(6, np.zeros(0, dtype=np.int64),
+                             np.zeros(0, dtype=np.int64))
+        view = table.batch_view(np.asarray([0, 1], dtype=np.int64))
+        out = view.lookup(np.asarray([0, 5], dtype=np.int64),
+                          np.asarray([1, 2], dtype=np.int64))
+        assert out.tolist() == [-1, -1]
+
+    def test_dense_batch_view_matches_table(self, tiny_path):
+        from repro.routing.forwarding import DenseNextHopTable
+
+        n = 5
+        matrix = np.full((n, n), -1, dtype=np.int32)
+        matrix[0, 2] = 1
+        matrix[1, 2] = 2
+        dense = DenseNextHopTable(matrix)
+        view = dense.batch_view(np.asarray([2], dtype=np.int64))
+        nodes = np.asarray([0, 1, 3], dtype=np.int64)
+        dests = np.asarray([2, 2, 2], dtype=np.int64)
+        assert np.array_equal(view.lookup(nodes, dests),
+                              dense.lookup(nodes, dests))
+
+    def test_replace_destinations_invalidates_column_cache(self):
+        """The churn-repair patch primitive must drop cached columns, or a
+        repaired table would keep serving pre-repair next hops."""
+        table, n = self._random_table(seed=7)
+        dests = np.arange(n, dtype=np.int64)
+        table.batch_view(dests)      # build columns for every destination
+        victim = int(table.keys[0] % n)
+        nodes = np.arange(n, dtype=np.int64)
+        new_keys = nodes * n + victim
+        table.replace_destinations([victim], new_keys,
+                                   np.full(n, (victim + 1) % n, dtype=np.int64))
+        view = table.batch_view(dests)
+        got = view.lookup(nodes, np.full(n, victim, dtype=np.int64))
+        assert (got == (victim + 1) % n).all()
+        assert np.array_equal(got, table.lookup(nodes,
+                                                np.full(n, victim)))
+
 
 class TestCompiledProgramShape:
     def test_program_describe(self, agm_k2):
@@ -314,6 +384,122 @@ class TestLockstepEdgeCases:
         lockstep = sim.route_batch(scheme, ok_pairs, engine="lockstep")
         _assert_results_match(scalar, lockstep, ok_pairs)
         assert all(r.found for r in lockstep)
+
+
+def _assert_outcomes_identical(a, b):
+    """Fused and legacy outcomes must agree walk for walk, bit for bit.
+
+    Strategy *codes* may be numbered differently (batch planners emit a
+    fixed code order, the legacy flattener numbers by first encounter), so
+    per-packet strategies are compared as resolved names.
+    """
+    assert np.array_equal(a.found, b.found)
+    assert np.array_equal(a.hop_index, b.hop_index)
+    assert np.array_equal(a.hop_heads, b.hop_heads)
+    assert np.array_equal(a.hop_tails, b.hop_tails)
+    assert np.array_equal(a.final_nodes, b.final_nodes)
+    assert np.array_equal(a.phases, b.phases)
+    assert np.array_equal(a.header_bits, b.header_bits)
+    assert np.array_equal(a.cost_override, b.cost_override, equal_nan=True)
+    names_a = [a.strategy_names[c] for c in a.strategy_codes]
+    names_b = [b.strategy_names[c] for c in b.strategy_codes]
+    assert names_a == names_b
+    assert a.notes == b.notes
+
+
+class TestFusedKernelParity:
+    """``run_lockstep(kernels=True)`` == ``kernels=False`` for every scheme
+    on every graph family — the fused cohort executor reproduces the legacy
+    per-step loop exactly (satellite of the throughput tentpole)."""
+
+    def _outcomes(self, scheme, graph, seed):
+        oracle = DistanceOracle(graph)
+        sim = RoutingSimulator(graph, oracle=oracle)
+        pairs = _pairs_for(sim, graph, seed=seed)
+        src = [u for u, _ in pairs]
+        dst = [v for _, v in pairs]
+        program = scheme.compiled_forwarding()
+        fused = run_lockstep(program, src, dst, materialize=False, kernels=True)
+        legacy = run_lockstep(program, src, dst, materialize=False,
+                              kernels=False)
+        return fused, legacy
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("scheme_name",
+                             [s for s in SCHEME_NAMES if s != "agm"])
+    def test_kernel_vs_legacy_walks(self, request, family, scheme_name):
+        graph = request.getfixturevalue(family)
+        oracle = DistanceOracle(graph)
+        scheme = build_scheme(scheme_name, graph, k=2, seed=5, oracle=oracle)
+        fused, legacy = self._outcomes(scheme, graph, seed=21)
+        _assert_outcomes_identical(fused, legacy)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_kernel_vs_legacy_walks_agm(self, request, family):
+        graph = request.getfixturevalue(family)
+        oracle = DistanceOracle(graph)
+        scheme = build_scheme("agm", graph, k=2, seed=5, oracle=oracle,
+                              params=AGMParams.experiment())
+        fused, legacy = self._outcomes(scheme, graph, seed=22)
+        _assert_outcomes_identical(fused, legacy)
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_empty_batch(self, small_grid, kernels):
+        oracle = DistanceOracle(small_grid)
+        scheme = build_scheme("cowen", small_grid, seed=3, oracle=oracle)
+        outcome = run_lockstep(scheme.compiled_forwarding(), [], [],
+                               kernels=kernels)
+        assert outcome.found.size == 0 and outcome.hop_index.size == 0
+
+    @pytest.mark.parametrize("kernels", [True, False])
+    def test_table_hop_cap(self, kernels):
+        # the broken 0 <-> 1 loop: both executors must cut at n + 1 hops
+        # and finalize with the plan's staged metadata
+        graph = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        table = NextHopTable.from_arrays(
+            graph.n, np.asarray([0, 1]), np.asarray([3, 3]), np.asarray([1, 0]))
+
+        def planner(source: int, destination: int) -> PacketPlan:
+            return PacketPlan([table_leg(0, strategy="loop")], "gave-up", 2)
+
+        program = ForwardingProgram(graph, planner, tables=[table],
+                                    label="broken-loop")
+        outcome = run_lockstep(program, [0], [3], kernels=kernels)
+        assert not outcome.found[0]
+        assert outcome.hop_index.size == graph.n + 1
+        assert outcome.strategy_names[outcome.strategy_codes[0]] == "gave-up"
+
+    @pytest.mark.parametrize("scheme_name", ["shortest-path", "cowen"])
+    def test_detached_destination_parity(self, scheme_name):
+        graph = random_geometric_graph(36, seed=771)
+        oracle = DistanceOracle(graph, backend="lazy")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=5, oracle=oracle)
+        victim = max(range(graph.n), key=graph.degree) // 2 + 1
+        delta = apply_events(graph, [ChurnEvent("detach", victim)])
+        scheme.maintain(delta)
+        program = scheme.compiled_forwarding()
+        sources = [u for u in range(graph.n) if u != victim][:10]
+        src = sources + [victim]
+        dst = [victim] * len(sources) + [sources[0]]
+        fused = run_lockstep(program, src, dst, materialize=False, kernels=True)
+        legacy = run_lockstep(program, src, dst, materialize=False,
+                              kernels=False)
+        _assert_outcomes_identical(fused, legacy)
+        assert not fused.found.any()
+
+    def test_env_kill_switch_forces_legacy(self, small_grid, monkeypatch):
+        oracle = DistanceOracle(small_grid)
+        scheme = build_scheme("cowen", small_grid, seed=3, oracle=oracle)
+        program = scheme.compiled_forwarding()
+        sim = RoutingSimulator(small_grid, oracle=oracle)
+        pairs = sim.sample_pairs(30, seed=2)
+        src = [u for u, _ in pairs]
+        dst = [v for _, v in pairs]
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        env_off = run_lockstep(program, src, dst, materialize=False)
+        explicit_off = run_lockstep(program, src, dst, materialize=False,
+                                    kernels=False)
+        _assert_outcomes_identical(env_off, explicit_off)
 
 
 class TestReportEngineField:

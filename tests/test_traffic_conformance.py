@@ -121,6 +121,24 @@ class TestTrafficModels:
         with pytest.raises(ValueError, match="connected pair"):
             make_traffic_model("uniform", isolated)
 
+    @pytest.mark.parametrize("name", TRAFFIC_MODEL_NAMES)
+    def test_hot_destinations_contract(self, name):
+        """Every model returns an int64 index array (possibly empty) — the
+        uniform warm-cache contract the engine's hot-row cache relies on."""
+        graph = random_geometric_graph(40, seed=906)
+        model = make_traffic_model(name, graph, seed=4)
+        hot = model.hot_destinations()
+        assert isinstance(hot, np.ndarray)
+        assert hot.dtype == np.int64 and hot.ndim == 1
+        if hot.size:
+            assert (hot >= 0).all() and (hot < graph.n).all()
+            assert np.unique(hot).size == hot.size
+        # skewed models advertise their head; uniform has none by definition
+        if name in ("zipf", "hotspot", "gravity"):
+            assert hot.size > 0
+        if name == "uniform":
+            assert hot.size == 0
+
     def test_zipf_concentrates_and_support_truncates(self):
         graph = random_geometric_graph(60, seed=905)
         model = ZipfTraffic(graph, seed=9, exponent=1.2, support=10)
@@ -388,6 +406,129 @@ class TestDeterminism:
             == [256, 256, 256, 232]
         with pytest.raises(ValueError):
             num_batches(0, 256)
+
+
+class TestThroughputModes:
+    """The perf-path knobs (fused kernels, service loop, shared memory,
+    profiling, hot-row cache) must never change an official statistic."""
+
+    def _scheme_and_model(self, scheme_name="cowen", seed=23):
+        graph = random_geometric_graph(40, seed=802)
+        oracle = DistanceOracle(graph, backend="dense")
+        scheme = build_scheme(scheme_name, graph, k=2, seed=7, oracle=oracle)
+        model = make_traffic_model("zipf", graph, seed=seed)
+        return scheme, model, oracle
+
+    def test_service_loop_matches_batch_mode(self):
+        scheme, model, oracle = self._scheme_and_model()
+        batch = run_traffic(scheme, model, packets=3000, batch_size=512,
+                            engine="lockstep", oracle=oracle)
+        for epoch in (1, 3, 16):
+            svc = run_traffic(scheme, model, packets=3000, batch_size=512,
+                              engine="lockstep", oracle=oracle,
+                              service=True, epoch_batches=epoch)
+            assert svc.service
+            assert svc.summary(include_p2=False) \
+                == batch.summary(include_p2=False), f"epoch={epoch}"
+
+    def test_service_loop_sharded_matches_batch_mode(self):
+        scheme, model, oracle = self._scheme_and_model()
+        batch = run_traffic(scheme, model, packets=3000, batch_size=512,
+                            engine="lockstep", oracle=oracle)
+        svc = run_traffic(scheme, model, packets=3000, batch_size=512,
+                          shards=2, processes=False, engine="lockstep",
+                          oracle=oracle, service=True, epoch_batches=2)
+        assert svc.summary(include_p2=False) == batch.summary(include_p2=False)
+
+    def test_kernels_shards_engines_identical(self, monkeypatch):
+        """The acceptance grid: official streamed statistics bit-identical
+        across {fused, legacy} × shard counts × engines."""
+        scheme, model, oracle = self._scheme_and_model()
+        summaries = []
+        for kernels in ("1", "0"):
+            monkeypatch.setenv("REPRO_KERNELS", kernels)
+            for shards in (1, 2, 4):
+                rep = run_traffic(scheme, model, packets=2000, batch_size=256,
+                                  shards=shards, processes=False,
+                                  engine="lockstep", oracle=oracle)
+                summaries.append((f"kernels={kernels} shards={shards}",
+                                  rep.summary(include_p2=False)))
+            scalar = run_traffic(scheme, model, packets=2000, batch_size=256,
+                                 engine="scalar", oracle=oracle)
+            summaries.append((f"kernels={kernels} scalar",
+                              scalar.summary(include_p2=False)))
+        baseline_label, baseline = summaries[0]
+        for label, summary in summaries[1:]:
+            assert summary == baseline, f"{label} != {baseline_label}"
+
+    def test_shared_memory_matches_and_restores(self):
+        scheme, model, oracle = self._scheme_and_model()
+        program = scheme.compiled_forwarding()
+        originals = [(t, getattr(t, "_keys", None), getattr(t, "_matrix", None))
+                     for t in program.tables]
+        plain = run_traffic(scheme, model, packets=2000, batch_size=256,
+                            engine="lockstep", oracle=oracle)
+        shm = run_traffic(scheme, model, packets=2000, batch_size=256,
+                          engine="lockstep", oracle=oracle,
+                          shared_memory=True)
+        assert shm.shared_memory
+        assert shm.summary() == plain.summary()
+        # every adopted attribute was restored to the original array
+        for table, keys, matrix in originals:
+            if keys is not None:
+                assert getattr(table, "_keys") is keys
+            if matrix is not None:
+                assert getattr(table, "_matrix") is matrix
+
+    def test_shm_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAFFIC_SHM", "0")
+        scheme, model, oracle = self._scheme_and_model()
+        rep = run_traffic(scheme, model, packets=1000, batch_size=256,
+                          engine="lockstep", oracle=oracle,
+                          shared_memory=True)
+        assert not rep.shared_memory
+
+    def test_profile_stages_cover_pipeline(self):
+        scheme, model, oracle = self._scheme_and_model()
+        rep = run_traffic(scheme, model, packets=2000, batch_size=256,
+                          engine="lockstep", oracle=oracle, profile=True)
+        assert rep.profile is not None
+        assert set(rep.profile) >= {"plan", "step", "verify", "score",
+                                    "reduce"}
+        assert all(seconds >= 0 for seconds in rep.profile.values())
+        plain = run_traffic(scheme, model, packets=2000, batch_size=256,
+                            engine="lockstep", oracle=oracle)
+        assert rep.summary() == plain.summary()
+        assert plain.profile is None
+
+    @pytest.mark.skipif(not processes_enabled(),
+                        reason="fork-based worker processes unavailable")
+    def test_forked_service_profile_shm_matches_inline(self):
+        scheme, model, oracle = self._scheme_and_model()
+        inline = run_traffic(scheme, model, packets=3000, batch_size=256,
+                             shards=2, processes=False, engine="lockstep",
+                             oracle=oracle)
+        forked = run_traffic(scheme, model, packets=3000, batch_size=256,
+                             shards=2, processes=True, engine="lockstep",
+                             oracle=oracle, profile=True, service=True)
+        assert forked.processes and forked.shared_memory and forked.service
+        assert forked.profile and forked.profile.get("step", 0) > 0
+        assert forked.summary(include_p2=False) \
+            == inline.summary(include_p2=False)
+
+    def test_exact_reference_unaffected_by_hot_cache(self):
+        """run_traffic (hot-row cache active) and run_traffic_exact (no
+        cache) certify identical per-packet quantities."""
+        scheme, model, oracle = self._scheme_and_model()
+        rep = run_traffic(scheme, model, packets=2000, batch_size=256,
+                          engine="lockstep", oracle=oracle)
+        exact = run_traffic_exact(scheme, model, packets=2000, batch_size=256,
+                                  engine="lockstep", oracle=oracle)
+        s = rep.summary()
+        assert int(s["delivered"]) == int(exact["found"].sum())
+        assert s["max_stretch"] == float(exact["stretch"].max())
+        assert s["avg_stretch"] == pytest.approx(float(exact["stretch"].mean()),
+                                                 rel=1e-12)
 
 
 # --------------------------------------------------------------------------- #
