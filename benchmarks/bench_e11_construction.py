@@ -51,6 +51,8 @@ from repro.factory import SCHEME_NAMES, build_scheme
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
 
+from common import bench_meta
+
 DEFAULT_SIZES = [200, 1000, 5000, 20000]
 QUICK_SIZES = [200]
 DEFAULT_SCALAR_CAP = 5000
@@ -221,6 +223,7 @@ def main() -> None:
         "aggregate_speedup_vs_seed": round(aggregate_vs_seed, 2)
         if aggregate_vs_seed is not None else None,
         "rows": rows,
+        "meta": bench_meta(),
     }
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)

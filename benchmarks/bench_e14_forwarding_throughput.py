@@ -51,6 +51,8 @@ from repro.factory import SCHEME_NAMES, build_scheme
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
 
+from common import bench_meta
+
 DEFAULT_SIZES = [1000, 5000, 20000]
 DEFAULT_PAIRS = 2000
 QUICK_SIZES = [400]
@@ -173,6 +175,7 @@ def main() -> None:
         "backend": args.backend,
         "aggregate_speedup": round(aggregate, 2),
         "rows": rows,
+        "meta": bench_meta(backend=args.backend),
     }
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)

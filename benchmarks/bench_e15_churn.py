@@ -42,6 +42,8 @@ from repro.dynamics.scenario import SCENARIO_NAMES, run_scenario_matrix
 from repro.experiments.workloads import workload_factory
 from repro.factory import SCHEME_NAMES
 
+from common import bench_meta
+
 DEFAULT_N = 1000
 DEFAULT_EPOCHS = 5
 DEFAULT_PAIRS = 250
@@ -161,6 +163,7 @@ def main() -> None:
         "backend": args.backend,
         "summary": summary,
         "rows": rows,
+        "meta": bench_meta(backend=args.backend),
     }
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -54,6 +54,8 @@ from repro.traffic.engine import run_traffic, run_traffic_exact
 from repro.traffic.models import make_traffic_model
 from repro.traffic.stats import LOG_QUANTILE_RTOL
 
+from common import bench_meta
+
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
 DEFAULT_SCHEMES = ["shortest-path", "cowen"]
@@ -279,6 +281,7 @@ def main() -> None:
         "speedup_threshold": threshold,
         "parity": parity,
         "rows": rows,
+        "meta": bench_meta(backend="lazy"),
     }
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)

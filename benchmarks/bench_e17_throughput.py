@@ -42,6 +42,8 @@ from repro.graphs.shortest_paths import DistanceOracle
 from repro.traffic.engine import run_traffic
 from repro.traffic.models import make_traffic_model
 
+from common import bench_meta
+
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
 DEFAULT_SCHEMES = ["shortest-path", "cowen"]
@@ -223,6 +225,7 @@ def main() -> None:
         "cpu_count": os.cpu_count(),
         "kernel_speedup_threshold": threshold,
         "rows": rows,
+        "meta": bench_meta(backend="lazy"),
     }
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2)

@@ -1,0 +1,220 @@
+"""E18 — out-of-core scale ladder: build + route 1M packets at n up to 100k.
+
+Each ``(n, scheme)`` rung **forks a child process** that
+
+1. sets ``REPRO_MEMORY_BUDGET`` (default ``16G``), so structures above the
+   budget — the shortest-path scheme's 40 GB next-hop matrix at n=100k,
+   the ball-CSR tables and SPT forests — spill to anonymous ``np.memmap``
+   files instead of resident RAM;
+2. builds the scheme against the **lazy** distance backend (never an
+   n×n matrix — the dense backend refuses above its node limit);
+3. routes ``--packets`` Zipf packets through the lockstep engine under an
+   **approximate scoring mode** (``landmark`` by default: certified stretch
+   upper bounds from ALT landmark rows, plus a seeded exact-row sample that
+   measures the certificate slack — ``avg/max_score_error`` in the stats);
+4. reports its own ``ru_maxrss`` back through a queue.
+
+Forking per rung is what makes the peak-RSS column honest: ``ru_maxrss``
+is monotone over a process lifetime, so rungs sharing one process would
+all inherit the largest rung's peak — and memory is actually returned to
+the OS between rungs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e18_scale.py            # full ladder
+    PYTHONPATH=src python benchmarks/bench_e18_scale.py \
+        --sizes 20000 --packets 100000 --budget 2G
+    PYTHONPATH=src python benchmarks/bench_e18_scale.py --quick --assert-ok
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import time
+
+from common import bench_meta, peak_rss_bytes
+
+DEFAULT_SIZES = [20000, 50000, 100000]
+DEFAULT_SCHEMES = ["shortest-path", "cowen"]
+DEFAULT_PACKETS = 1_000_000
+DEFAULT_BATCH = 8192
+DEFAULT_BUDGET = "16G"
+DEFAULT_SCORING = "landmark"
+DEFAULT_SAMPLE = 8
+DEFAULT_LANDMARKS = 16
+QUICK_SIZES = [2000]
+QUICK_PACKETS = 50_000
+QUICK_BUDGET = "8M"          # force the spill path even at toy sizes
+
+
+def run_rung(n: int, scheme_name: str, args, queue) -> None:
+    """Child-process body: build one scheme at one size, route, report."""
+    os.environ["REPRO_MEMORY_BUDGET"] = args.budget
+    os.environ["REPRO_DISTANCE_BACKEND"] = "lazy"
+
+    from repro.experiments.workloads import make_workload
+    from repro.factory import build_scheme
+    from repro.graphs.backends import LazyDijkstraBackend
+    from repro.graphs.shortest_paths import DistanceOracle
+    from repro.storage import reset_accounting, storage_report
+    from repro.traffic.engine import run_traffic
+    from repro.traffic.models import make_traffic_model
+    from repro.traffic.scoring import make_scorer
+
+    reset_accounting()
+    graph = make_workload(args.family, n, seed=args.seed)
+    support = min(args.zipf_support, max(n // 4, 8))
+    backend = LazyDijkstraBackend(graph, cache_rows=support + 64)
+    oracle = DistanceOracle(graph, backend=backend)
+    model = make_traffic_model("zipf", graph, seed=args.seed + 1,
+                               support=support)
+
+    t0 = time.perf_counter()
+    scheme = build_scheme(scheme_name, graph, k=2, seed=args.seed + 2,
+                          oracle=oracle)
+    build_s = time.perf_counter() - t0
+
+    scorer = make_scorer(args.scoring, graph, oracle, seed=args.seed + 1,
+                         sample_per_batch=args.sample_per_batch,
+                         num_landmarks=args.landmarks)
+    report = run_traffic(scheme, model, args.packets, shards=args.shards,
+                         batch_size=args.batch, engine="lockstep",
+                         oracle=oracle, scoring=scorer)
+    summary = report.stats.summary()
+    storage = storage_report()
+    row = {
+        "n": n,
+        "scheme": scheme_name,
+        "model": model.name,
+        "zipf_support": support,
+        "packets": args.packets,
+        "batch_size": args.batch,
+        "backend": "lazy",
+        "scoring": report.scoring,
+        "memory_budget": args.budget,
+        "build_s": round(build_s, 2),
+        "route_s": round(report.seconds, 2),
+        "pps": round(report.pps, 1),
+        "delivered": int(summary["delivered"]),
+        "failures": int(summary["failures"]),
+        "unreachable": int(summary["unreachable"]),
+        "avg_stretch": summary["avg_stretch"],
+        "max_stretch": summary["max_stretch"],
+        "stretch_count": int(summary["stretch_count"]),
+        "avg_score_error": summary.get("avg_score_error"),
+        "max_score_error": summary.get("max_score_error"),
+        "stretch_stderr": summary.get("stretch_stderr"),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "spilled_bytes": storage["spilled_bytes"],
+        "spill_count": storage["spill_count"],
+    }
+    queue.put(row)
+
+
+def ladder(args, partial_path=None) -> list:
+    ctx = mp.get_context("fork")
+    rows = []
+    for n in args.sizes:
+        for scheme_name in args.schemes:
+            queue = ctx.Queue()
+            start = time.perf_counter()
+            child = ctx.Process(target=run_rung,
+                                args=(n, scheme_name, args, queue))
+            child.start()
+            row = None
+            while row is None:      # poll so a crashed rung aborts the ladder
+                try:
+                    row = queue.get(timeout=30)
+                except Exception:
+                    if not child.is_alive():
+                        child.join()
+                        raise RuntimeError(
+                            f"rung n={n} scheme={scheme_name} died "
+                            f"(exit {child.exitcode}) without reporting")
+            child.join()
+            row["rung_wall_s"] = round(time.perf_counter() - start, 2)
+            rows.append(row)
+            if partial_path:
+                # hours-long ladder: completed rungs survive a late crash
+                with open(partial_path, "w") as handle:
+                    json.dump(rows, handle, indent=2)
+            print(f"{row['n']:>7} {row['scheme']:>15} "
+                  f"build {row['build_s']:>8.1f}s "
+                  f"route {row['route_s']:>7.1f}s {row['pps']:>9.0f} pps "
+                  f"rss {row['peak_rss_bytes'] / 2**30:>6.2f} GiB "
+                  f"spill {row['spilled_bytes'] / 2**30:>6.2f} GiB "
+                  f"fail {row['failures']}", flush=True)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None)
+    parser.add_argument("--family", default="barabasi-albert",
+                        help="workload family (scale-free by default: the "
+                        "sparse internet-like testbed the schemes target)")
+    parser.add_argument("--schemes", nargs="+", default=DEFAULT_SCHEMES)
+    parser.add_argument("--packets", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--budget", default=None,
+                        help="REPRO_MEMORY_BUDGET for every rung (e.g. 16G)")
+    parser.add_argument("--scoring", default=DEFAULT_SCORING,
+                        choices=["landmark", "sampled", "exact"])
+    parser.add_argument("--sample-per-batch", type=int, default=DEFAULT_SAMPLE,
+                        help="exact-row certificate sample size per batch")
+    parser.add_argument("--landmarks", type=int, default=DEFAULT_LANDMARKS)
+    parser.add_argument("--zipf-support", type=int, default=2048)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="toy ladder with a budget small enough to spill")
+    parser.add_argument("--assert-ok", action="store_true")
+    parser.add_argument("--json", default=None)
+    args = parser.parse_args()
+    args.sizes = args.sizes or (QUICK_SIZES if args.quick else DEFAULT_SIZES)
+    args.packets = args.packets or (QUICK_PACKETS if args.quick
+                                    else DEFAULT_PACKETS)
+    args.budget = args.budget or (QUICK_BUDGET if args.quick
+                                  else DEFAULT_BUDGET)
+    json_path = args.json or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_e18.json")
+
+    print(f"# E18: out-of-core scale ladder — sizes {args.sizes}, "
+          f"budget {args.budget}, scoring {args.scoring}", flush=True)
+    rows = ladder(args, partial_path=json_path + ".partial")
+
+    payload = {
+        "benchmark": "e18_scale",
+        "family": args.family,
+        "sizes": args.sizes,
+        "schemes": args.schemes,
+        "packets_per_run": args.packets,
+        "batch_size": args.batch,
+        "backend": "lazy",
+        "scoring": args.scoring,
+        "memory_budget": args.budget,
+        "sample_per_batch": args.sample_per_batch,
+        "landmarks": args.landmarks,
+        "seed": args.seed,
+        "rows": rows,
+        "meta": bench_meta(backend="lazy", scoring=args.scoring),
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+    if args.assert_ok:
+        bad = [r for r in rows if r["failures"] != 0]
+        assert not bad, f"delivery failures at: {[(r['n'], r['scheme']) for r in bad]}"
+        assert all(r["delivered"] + r["unreachable"] == r["packets"]
+                   for r in rows), "packet accounting mismatch"
+        print("assertions passed: zero failures on every rung")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Shared benchmark plumbing: run metadata for every ``BENCH_*.json``.
+
+Every bench emitter stamps its payload with :func:`bench_meta` so a committed
+JSON records not just the numbers but the conditions they were measured
+under — peak RSS, the distance-backend and scoring modes in force, the
+memory budget, and whether the JIT kernels were active.  Scale results
+(e18) are meaningless without these: 40 GB of dense rows versus a 16 GB
+budget with memmapped spill produce very different "seconds" columns.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+from typing import Dict, Optional
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to
+    bytes.  The value is monotone over the life of the process — callers
+    that need a per-stage peak must fork the stage into a child process
+    and read the child's own peak (see ``bench_e18_scale``).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def bench_meta(backend: Optional[str] = None,
+               scoring: Optional[str] = None) -> Dict[str, object]:
+    """Metadata block recorded in every bench payload.
+
+    ``backend``/``scoring`` override the environment-derived defaults when
+    the script chose them explicitly (e.g. e18 forces ``lazy`` + an
+    approximate scoring mode regardless of the environment).
+    """
+    from repro.storage import memory_budget, storage_report
+
+    budget = memory_budget()
+    report = storage_report()
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "backend": backend or os.environ.get("REPRO_DISTANCE_BACKEND", "auto"),
+        "scoring": scoring or "exact",
+        "memory_budget_bytes": budget,
+        "spilled_bytes": report["spilled_bytes"],
+        "spill_count": report["spill_count"],
+        "jit": os.environ.get("REPRO_JIT", "0") == "1",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }

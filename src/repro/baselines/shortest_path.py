@@ -27,6 +27,7 @@ from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
+from repro.storage import alloc_array
 from repro.utils.bitsize import bits_for_id
 
 
@@ -43,8 +44,10 @@ class ShortestPathRouting(RoutingSchemeInstance):
         self.oracle = exact_distance_oracle(graph, oracle)
         self.name_bits = int(name_bits)
         self._context = context
-        #: next_hop[u, v] = neighbor of u on a shortest u→v path (-1 absent)
-        self._next_hop: np.ndarray = np.full((graph.n, graph.n), -1, dtype=np.int32)
+        #: next_hop[u, v] = neighbor of u on a shortest u→v path (-1 absent);
+        #: memmap-backed above the REPRO_MEMORY_BUDGET (40 GB at n=100k)
+        self._next_hop: np.ndarray = alloc_array((graph.n, graph.n), np.int32,
+                                                 fill=-1)
         if scalar_build_mode():
             self._build_scalar()
         else:
@@ -82,7 +85,13 @@ class ShortestPathRouting(RoutingSchemeInstance):
     def _charge_tables(self) -> None:
         graph = self.graph
         port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
-        counts = (self._next_hop >= 0).sum(axis=1)
+        # row-blocked so the comparison temporary stays ~256 MB rather than a
+        # full n×n bool (10 GB at n=100k, defeating the memory budget)
+        counts = np.empty(graph.n, dtype=np.int64)
+        block = max(1, (1 << 28) // max(graph.n, 1))
+        for start in range(0, graph.n, block):
+            stop = min(start + block, graph.n)
+            counts[start:stop] = (self._next_hop[start:stop] >= 0).sum(axis=1)
         for u in range(graph.n):
             self.tables[u].charge("next_hop_entries", self.name_bits + port_bits,
                                   count=int(counts[u]))

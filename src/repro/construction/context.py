@@ -39,10 +39,12 @@ from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
+from repro.construction.kernels import ancestor_closure
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import (DistanceOracle, exact_distance_oracle,
                                           shortest_path_tree)
 from repro.graphs.trees import Tree
+from repro.storage import persist_array
 from repro.utils.validation import require
 
 #: roots per SciPy kernel call in :meth:`BuildContext.spt_trees`
@@ -114,13 +116,7 @@ def tree_from_predecessors(graph: WeightedGraph, root: int,
     else:
         frontier = np.unique(np.asarray(list(members), dtype=np.int64))
         frontier = frontier[np.isfinite(dist[frontier])]
-        while frontier.size:
-            fresh = frontier[~keep[frontier]]
-            if fresh.size == 0:
-                break
-            keep[fresh] = True
-            parents = parent[fresh]
-            frontier = np.unique(parents[parents >= 0])
+        ancestor_closure(frontier, parent, keep)
     kept = np.flatnonzero(keep)
     children = kept[kept != root]
     if children.size == 0:
@@ -241,6 +237,9 @@ class BuildContext:
             limits = [jobs[j].limit for j in chunk]
             shared = max(limits) if all(l is not None for l in limits) else None
             dist, pred = limited_dijkstra(csr, roots, shared, predecessors=True)
+            # under a tight REPRO_MEMORY_BUDGET the per-chunk SPT forest rows
+            # spill too, so a whole build streams through the budget
+            dist, pred = persist_array(dist), persist_array(pred)
             out = []
             for local, j in enumerate(chunk):
                 job = jobs[j]
@@ -306,4 +305,6 @@ class BuildContext:
             parts.append(members.astype(np.int64))
         indptr = np.concatenate(([0], np.cumsum(counts)))
         indices = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
-        return indptr, indices
+        # large ball tables are placed through the storage layer: memmap
+        # spill files above REPRO_MEMORY_BUDGET, plain RAM below
+        return indptr, persist_array(indices)

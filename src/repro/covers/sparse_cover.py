@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.construction.context import BuildContext, scalar_build_mode
+from repro.construction.kernels import absorb_kernel
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.utils.validation import require
@@ -186,13 +187,30 @@ def _coarsen_vectorized(n: int, k: int, rho: float, universe: np.ndarray,
     home: Dict[int, int] = {}
     remaining_count = num
 
+    # REPRO_JIT=1 fuses the absorb/mark gathers into one compiled CSR pass;
+    # it emits the same new-node *set* in discovery order — every consumer
+    # is a stamp array or a Python set, so the clusters are identical
+    fused = absorb_kernel()
+    scratch = np.empty(n, dtype=np.int64) if fused is not None else None
+    flat_indices = np.asarray(indices)   # plain view (indices may be a memmap)
+
     def absorb(cid: int, positions: np.ndarray,
-               members_out: List[np.ndarray]) -> np.ndarray:
+               members_out: List[np.ndarray], mark: bool = False) -> np.ndarray:
         """Merge the balls of ``positions`` into cluster ``cid``.
 
         Returns the globally-new nodes; ``members_out`` accumulates them so
-        the final member list needs no mask scan.
+        the final member list needs no mask scan.  With ``mark`` the owning
+        balls of every new node are stamped as touching the cluster (the
+        growth layers need it; the final absorb does not).
         """
+        if fused is not None:
+            count = fused(indptr, flat_indices, owners_indptr, owners,
+                          merged_stamp, node_stamp, touch_stamp,
+                          np.ascontiguousarray(positions, dtype=np.int64),
+                          cid, scratch, mark)
+            new_nodes = scratch[:count].copy()
+            members_out.append(new_nodes)
+            return new_nodes
         fresh_balls = positions[merged_stamp[positions] != cid]
         if fresh_balls.size == 0:
             return np.zeros(0, dtype=np.int64)
@@ -206,6 +224,8 @@ def _coarsen_vectorized(n: int, k: int, rho: float, universe: np.ndarray,
         new_nodes = candidates[node_stamp[candidates] != cid]
         node_stamp[new_nodes] = cid
         members_out.append(new_nodes)
+        if mark:
+            mark_touching(cid, new_nodes)
         return new_nodes
 
     def mark_touching(cid: int, new_nodes: np.ndarray) -> None:
@@ -222,8 +242,7 @@ def _coarsen_vectorized(n: int, k: int, rho: float, universe: np.ndarray,
             cid = len(clusters)
             kernel = np.asarray([v], dtype=np.int64)
             members_parts: List[np.ndarray] = []
-            new_nodes = absorb(cid, kernel, members_parts)
-            mark_touching(cid, new_nodes)
+            absorb(cid, kernel, members_parts, mark=True)
             for _ in range(k + 1):
                 touching = np.flatnonzero((touch_stamp == cid) & pending)
                 touch_set = np.union1d(touching, kernel)
@@ -247,8 +266,7 @@ def _coarsen_vectorized(n: int, k: int, rho: float, universe: np.ndarray,
                     pending_count -= dropped.size
                     break
                 kernel = touch_set
-                new_nodes = absorb(cid, touch_set, members_parts)
-                mark_touching(cid, new_nodes)
+                absorb(cid, touch_set, members_parts, mark=True)
             else:  # pragma: no cover - the growth loop always breaks within k+1 rounds
                 raise RuntimeError("sparse cover growth loop failed to terminate")
 

@@ -184,6 +184,19 @@ class DenseAPSPBackend(DistanceBackend):
 
     def _ensure(self) -> None:
         if self._matrix is None:
+            # refuse, with a clear error, any path that would materialize an
+            # n×n float64 matrix past the dense limit — an OOM kill reports
+            # nothing, and auto-selection would never have picked dense here.
+            # A caller-supplied matrix (set in __init__) bypasses this: the
+            # memory is already paid for.
+            limit = dense_node_limit()
+            if self.n > limit:
+                raise ValueError(
+                    f"dense APSP backend refused: n={self.n} exceeds the "
+                    f"dense node limit {limit} (the matrix would take "
+                    f"{8 * self.n * self.n / 2**30:.1f} GiB). Use the 'lazy' "
+                    f"backend, pass a precomputed matrix, or raise "
+                    f"REPRO_DENSE_NODE_LIMIT.")
             # local import: shortest_paths imports this module at load time
             from repro.graphs.shortest_paths import all_pairs_distances
 
@@ -465,6 +478,16 @@ class LandmarkApproxBackend(DistanceBackend):
             self._landmark_rows = np.atleast_2d(
                 multi_source_distances(self.graph, self.landmarks))
             self._cache.clear()
+
+    @property
+    def landmark_rows(self) -> np.ndarray:
+        """Exact ``(num_landmarks, n)`` distance rows landmark -> node.
+
+        Version-synced read-only view; the ``landmark`` traffic-scoring mode
+        derives its ALT lower bounds from these rows.
+        """
+        self._sync()
+        return self._landmark_rows
 
     def row(self, u: int) -> np.ndarray:
         check_index(u, self.n, "u")

@@ -49,6 +49,7 @@ import numpy as np
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.trees import Tree
 from repro.routing.messages import RouteResult
+from repro.storage import persist_array
 from repro.utils.validation import require
 
 #: leg kinds understood by the lockstep engine
@@ -247,20 +248,23 @@ class TreeBank:
         def cat(parts: List[np.ndarray]) -> np.ndarray:
             return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
 
-        self.node_of_slot = cat(node_parts)
-        self.dfs_out = cat(dfs_out_parts)                      # tree-local
-        self.parent_slot = cat(parent_parts)
+        # the compiled slot tables are placed through the storage layer:
+        # in RAM below REPRO_MEMORY_BUDGET, np.memmap spill files above —
+        # the engines index them identically either way
+        self.node_of_slot = persist_array(cat(node_parts))
+        self.dfs_out = persist_array(cat(dfs_out_parts))       # tree-local
+        self.parent_slot = persist_array(cat(parent_parts))
         require(self.node_of_slot.size == total, "tree slot assembly mismatch")
 
         keys = cat(child_key_parts)
         order = np.argsort(keys, kind="stable")
-        self._child_keys = keys[order]
-        self._child_slots = cat(child_slot_parts)[order]
+        self._child_keys = persist_array(keys[order])
+        self._child_slots = persist_array(cat(child_slot_parts)[order])
 
         mkeys = cat(member_key_parts)
         morder = np.argsort(mkeys, kind="stable")
-        self._member_keys = mkeys[morder]
-        self._member_slots = cat(member_slot_parts)[morder]
+        self._member_keys = persist_array(mkeys[morder])
+        self._member_slots = persist_array(cat(member_slot_parts)[morder])
         return self
 
     def densify_membership(self) -> bool:
@@ -368,8 +372,8 @@ class NextHopTable:
     def __init__(self, n: int, keys: np.ndarray, next_hops: np.ndarray) -> None:
         self.n = int(n)
         order = np.argsort(keys, kind="stable")
-        self._keys = np.asarray(keys, dtype=np.int64)[order]
-        self._next = np.asarray(next_hops, dtype=np.int64)[order]
+        self._keys = persist_array(np.asarray(keys, dtype=np.int64)[order])
+        self._next = persist_array(np.asarray(next_hops, dtype=np.int64)[order])
         #: destination -> row index into ``_cols`` (-1 = not cached)
         self._col_rank: Optional[np.ndarray] = None
         #: dense cached next-hop columns, one row per hot destination

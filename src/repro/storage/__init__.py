@@ -1,0 +1,16 @@
+"""Out-of-core array placement under a configurable memory budget."""
+
+from repro.storage.memmap import (SPILL_MIN_BYTES, alloc_array, is_memmap,
+                                  memory_budget, persist_array,
+                                  reset_accounting, spill_dir, storage_report)
+
+__all__ = [
+    "SPILL_MIN_BYTES",
+    "alloc_array",
+    "is_memmap",
+    "memory_budget",
+    "persist_array",
+    "reset_accounting",
+    "spill_dir",
+    "storage_report",
+]

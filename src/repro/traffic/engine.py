@@ -219,17 +219,25 @@ def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
                      src: np.ndarray, dst: np.ndarray,
                      cache: Optional[_HotRowCache] = None,
                      buffers: Optional[_BatchBuffers] = None,
-                     timings: Optional[Dict[str, float]] = None):
-    """Route one batch, verify it, and score it against exact distances.
+                     timings: Optional[Dict[str, float]] = None,
+                     scorer=None, batch_index: int = 0):
+    """Route one batch, verify it, and score it.
 
     The shared per-batch body of :func:`stream_shard` and
     :func:`run_traffic_exact` — one place owns the scoring rule, so the
     exact reference always certifies the same quantity the streaming engine
-    reduces.  Returns ``(found, hops, finite, measured, stretch)`` where
-    ``stretch`` is 1.0 outside the ``measured`` (found & finite-distance)
-    mask and for zero-distance trivial pairs.  ``cache`` serves hot
+    reduces.  Returns ``(found, hops, finite, measured, stretch, errors)``
+    where ``stretch`` is 1.0 outside the ``measured`` mask and for
+    zero-distance trivial pairs, and ``errors`` is the approximate modes'
+    per-batch certificate sample (``None`` under exact scoring).
+
+    Under exact scoring (``scorer=None``) every delivered reachable packet
+    is measured against an exact distance row: ``cache`` serves hot
     destination rows without touching the oracle; ``buffers`` (service
-    loop) reuses the stretch scratch across batches; both are exact.
+    loop) reuses the stretch scratch across batches; both are exact.  A
+    :mod:`repro.traffic.scoring` scorer replaces the distance-row scoring
+    with its own rule (component reachability + sampled / landmark-bounded
+    stretch) — delivery accounting stays exact either way.
     """
     graph = scheme.graph
     if engine == "lockstep":
@@ -239,6 +247,11 @@ def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
         found, costs, hops = _route_batch_scalar(scheme, graph, src, dst,
                                                  timings=timings)
     t0 = _tick(timings)
+    if scorer is not None:
+        score = scorer.score(batch_index, src, dst, costs, found)
+        _lap(timings, "score", t0)
+        return (found, hops, score.finite, score.measured, score.stretch,
+                score.error_values)
     if cache is not None:
         shortest = cache.pair_distances(oracle, dst, src)
     else:
@@ -253,7 +266,7 @@ def _route_and_score(scheme, program, oracle: DistanceOracle, engine: str,
         stretch = np.ones(src.size)
     np.divide(costs, shortest, out=stretch, where=measured & (shortest > 0))
     _lap(timings, "score", t0)
-    return found, hops, finite, measured, stretch
+    return found, hops, finite, measured, stretch, None
 
 
 def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
@@ -286,6 +299,7 @@ def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
     engine = resolve_traffic_engine(scheme, engine)
     program = scheme.compiled_forwarding() if engine == "lockstep" else None
     cache = _RUN_CONTEXT.get("hot_cache")
+    scorer = _RUN_CONTEXT.get("scorer")
     timings: Optional[Dict[str, float]] = {} if profile_out is not None else None
     total = num_batches(packets, batch_size)
     my_batches = range(shard, total, shards)
@@ -295,9 +309,10 @@ def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
         for b in indices:
             size = batch_size_of(b, packets, batch_size)
             src, dst = model.batch(b, size)
-            found, hops, finite, measured, stretch = _route_and_score(
+            found, hops, finite, measured, stretch, errors = _route_and_score(
                 scheme, program, oracle, engine, src, dst,
-                cache=cache, buffers=buffers, timings=timings)
+                cache=cache, buffers=buffers, timings=timings,
+                scorer=scorer, batch_index=b)
             t0 = _tick(timings)
             into.update_batch(
                 b,
@@ -307,6 +322,7 @@ def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
                 delivered=int(np.count_nonzero(found)),
                 failures=int(np.count_nonzero(~found & finite)),
                 unreachable=int(np.count_nonzero(~finite)),
+                error_values=errors,
             )
             _lap(timings, "reduce", t0)
 
@@ -348,6 +364,8 @@ class TrafficReport:
     service: bool = False
     #: whether program arrays / hot rows were published via shared memory
     shared_memory: bool = False
+    #: stretch scoring mode ("exact" / "sampled" / "landmark")
+    scoring: str = "exact"
 
     @property
     def pps(self) -> float:
@@ -371,6 +389,7 @@ class TrafficReport:
             "scheme": self.scheme,
             "model": self.model,
             "engine": self.engine,
+            "scoring": self.scoring,
             "packets": self.packets,
             "shards": self.shards,
             "processes": self.processes,
@@ -506,7 +525,8 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
                 oracle: Optional[DistanceOracle] = None,
                 processes: Optional[bool] = None, profile: bool = False,
                 service: bool = False, epoch_batches: Optional[int] = None,
-                shared_memory: Optional[bool] = None) -> TrafficReport:
+                shared_memory: Optional[bool] = None,
+                scoring: object = "exact") -> TrafficReport:
     """Route ``packets`` packets of ``model`` traffic through ``scheme``.
 
     Parameters
@@ -538,6 +558,14 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
         for the duration of the run (zero-copy across forked shards).
         Defaults to on exactly when worker processes are used; the
         ``REPRO_TRAFFIC_SHM=0`` kill-switch overrides everything.
+    scoring:
+        Stretch scoring mode: ``"exact"`` (the default — every delivered
+        packet scored against an exact distance row), ``"sampled"`` or
+        ``"landmark"`` (see :mod:`repro.traffic.scoring`), or a prebuilt
+        scorer instance.  The approximate modes never materialize exact
+        rows beyond their seeded per-batch sample — this is what makes
+        million-packet evaluation possible at n=100k — and keep the
+        delivery/failure/unreachable counters exact.
 
     Returns a :class:`TrafficReport`; raises if any routed walk fails hop
     verification or the merged shards did not cover every batch exactly once.
@@ -549,17 +577,28 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
     program = scheme.compiled_forwarding() if engine == "lockstep" else None
     graph.to_scipy_csr()               # warm the shared CSR cache, pre-fork
     graph.component_ids()
+    if isinstance(scoring, str):
+        from repro.traffic.scoring import make_scorer
+
+        scorer = make_scorer(scoring, graph, oracle,
+                             seed=getattr(model, "seed", 0))
+    else:
+        scorer = scoring
+    scoring_mode = "exact" if scorer is None else scorer.mode
     hot = model.hot_destinations()
     hot_cache: Optional[_HotRowCache] = None
     if hot is not None and np.asarray(hot).size:
-        # fill the hot destinations' distance rows once, pre-fork: under a
-        # lazy backend every shard scores against the same concentrated
-        # destination set, and pages filled after the fork are per-worker
-        # (copy-on-write has diverged), so a cold oracle would re-run the
-        # identical Dijkstras in every worker.  Then pin the rows as one
-        # contiguous matrix so hot-batch scoring is a single gather.
-        oracle.prefetch(hot)
-        hot_cache = _HotRowCache(oracle, np.asarray(hot), graph.n)
+        if scorer is None:
+            # fill the hot destinations' distance rows once, pre-fork: under
+            # a lazy backend every shard scores against the same concentrated
+            # destination set, and pages filled after the fork are per-worker
+            # (copy-on-write has diverged), so a cold oracle would re-run the
+            # identical Dijkstras in every worker.  Then pin the rows as one
+            # contiguous matrix so hot-batch scoring is a single gather.
+            # Approximate scoring modes skip this: one exact Dijkstra per hot
+            # destination is the exact cost those modes exist to avoid.
+            oracle.prefetch(hot)
+            hot_cache = _HotRowCache(oracle, np.asarray(hot), graph.n)
         if program is not None:
             # warm each sorted table's per-destination column cache on the
             # hot set pre-fork so forked shards inherit (and, under shared
@@ -586,6 +625,7 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
 
     prof: Optional[Dict[str, float]] = {} if profile else None
     _RUN_CONTEXT["hot_cache"] = hot_cache
+    _RUN_CONTEXT["scorer"] = scorer
     start = time.perf_counter()
     try:
         if use_processes:
@@ -608,6 +648,7 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
                                          epoch_batches=epoch_batches))
     finally:
         _RUN_CONTEXT.pop("hot_cache", None)
+        _RUN_CONTEXT.pop("scorer", None)
         if arena is not None:
             arena.close()
     seconds = time.perf_counter() - start
@@ -622,7 +663,7 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
         packets=packets, shards=shards, batch_size=batch_size,
         processes=use_processes, seconds=seconds, stats=stats,
         profile=prof, service=bool(service),
-        shared_memory=arena is not None)
+        shared_memory=arena is not None, scoring=scoring_mode)
 
 
 def run_traffic_exact(scheme: RoutingSchemeInstance, model: TrafficModel,
@@ -647,7 +688,7 @@ def run_traffic_exact(scheme: RoutingSchemeInstance, model: TrafficModel,
     for b in range(num_batches(packets, batch_size)):
         size = batch_size_of(b, packets, batch_size)
         src, dst = model.batch(b, size)
-        found, hops, finite, measured, stretch = _route_and_score(
+        found, hops, finite, measured, stretch, _ = _route_and_score(
             scheme, program, oracle, engine, src, dst)
         stretch_parts.append(stretch[measured])
         hop_parts.append(hops)

@@ -82,7 +82,13 @@ class SharedArena:
 
         Empty arrays (and any array when shared memory is unavailable) are
         returned unchanged — zero-size blocks are illegal and pointless.
+        Memmap-backed arrays (the storage layer's spill files) are also
+        returned unchanged: their pages are already file-backed and shared
+        across ``fork()``, and copying a spilled table into ``/dev/shm``
+        would defeat the memory budget that spilled it.
         """
+        if isinstance(array, np.memmap):
+            return array
         array = np.ascontiguousarray(array)
         if _shared_memory is None or array.nbytes == 0:
             return array

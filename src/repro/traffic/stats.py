@@ -363,6 +363,68 @@ class MetricStream:
         return out
 
 
+class ErrorDigest:
+    """Per-batch digests of a scoring-certificate error metric.
+
+    The approximate scoring modes (see :mod:`repro.traffic.scoring`) emit a
+    per-sampled-packet error value per batch — e.g. the landmark mode's gap
+    between the certified stretch bound and the exact sampled stretch.
+    Values can legitimately be zero, so the log histogram does not apply;
+    digests (count / sum / sum of squares / max, keyed by batch index) give
+    exactly-mergeable mean/std/max with the same partition-independence
+    argument as :class:`MetricStream`.
+    """
+
+    __slots__ = ("_digests",)
+
+    def __init__(self) -> None:
+        #: batch index -> (count, sum, sum of squares, max)
+        self._digests: Dict[int, Tuple[int, float, float, float]] = {}
+
+    def update(self, batch_index: int, values: np.ndarray) -> None:
+        batch_index = int(batch_index)
+        require(batch_index not in self._digests,
+                f"batch {batch_index} was already folded into this digest")
+        values = np.asarray(values, dtype=float)
+        if values.size:
+            self._digests[batch_index] = (
+                int(values.size), float(values.sum()),
+                float(np.square(values).sum()), float(values.max()))
+        else:
+            self._digests[batch_index] = (0, 0.0, 0.0, -math.inf)
+
+    def merge(self, other: "ErrorDigest") -> None:
+        overlap = self._digests.keys() & other._digests.keys()
+        require(not overlap,
+                f"shards folded overlapping error batches: {sorted(overlap)[:4]}")
+        self._digests.update(other._digests)
+
+    @property
+    def count(self) -> int:
+        return sum(d[0] for d in self._digests.values())
+
+    def summary(self, prefix: str = "score_error") -> Dict[str, float]:
+        """Flat mean/std/max fields (empty dict when nothing was folded)."""
+        if not self._digests:
+            return {}
+        count, total, total_sq = 0, 0.0, 0.0
+        high = -math.inf
+        for index in sorted(self._digests):
+            c, s, sq, hi = self._digests[index]
+            count += c
+            total += s
+            total_sq += sq
+            high = max(high, hi)
+        out: Dict[str, float] = {f"{prefix}_count": count}
+        if count:
+            mean = total / count
+            out[f"avg_{prefix}"] = mean
+            out[f"max_{prefix}"] = high
+            out[f"std_{prefix}"] = math.sqrt(
+                max(total_sq / count - mean * mean, 0.0))
+        return out
+
+
 class TrafficStats:
     """Streaming statistics of one traffic run (or one shard of it).
 
@@ -377,6 +439,8 @@ class TrafficStats:
         self.stretch = MetricStream("log", quantiles=(0.5, 0.95, 0.99))
         self.hops = MetricStream("int", quantiles=(0.5, 0.95, 0.99),
                                  p2_quantiles=(0.5, 0.95))
+        #: certificate gaps from approximate scoring (empty under exact)
+        self.score_error = ErrorDigest()
         self.packets = 0
         self.delivered = 0
         self.failures = 0       # reachable destination, scheme did not deliver
@@ -385,7 +449,8 @@ class TrafficStats:
 
     def update_batch(self, batch_index: int, stretch_values: np.ndarray,
                      hop_values: np.ndarray, packets: int, delivered: int,
-                     failures: int, unreachable: int) -> None:
+                     failures: int, unreachable: int,
+                     error_values: Optional[np.ndarray] = None) -> None:
         """Fold one routed batch's reductions in."""
         batch_index = int(batch_index)
         require(batch_index not in self.batches,
@@ -393,6 +458,8 @@ class TrafficStats:
         self.batches.add(batch_index)
         self.stretch.update(batch_index, stretch_values)
         self.hops.update(batch_index, hop_values)
+        if error_values is not None:
+            self.score_error.update(batch_index, error_values)
         self.packets += int(packets)
         self.delivered += int(delivered)
         self.failures += int(failures)
@@ -406,6 +473,7 @@ class TrafficStats:
         self.batches |= other.batches
         self.stretch.merge(other.stretch)
         self.hops.merge(other.hops)
+        self.score_error.merge(other.score_error)
         self.packets += other.packets
         self.delivered += other.delivered
         self.failures += other.failures
@@ -417,7 +485,10 @@ class TrafficStats:
 
         With ``include_p2=False`` every field is bit-identical across shard
         counts and engines; the P² fields additionally require a fixed stream
-        partition (they are engine-independent but shard-dependent).
+        partition (they are engine-independent but shard-dependent).  Under
+        an approximate scoring mode the certificate-error fields
+        (``avg/max/std_score_error``) and the sampling standard error of the
+        mean stretch (``stretch_stderr``) join the payload.
         """
         out: Dict[str, float] = {
             "packets": self.packets,
@@ -427,4 +498,10 @@ class TrafficStats:
         }
         out.update(self.stretch.summary("stretch", include_p2=include_p2))
         out.update(self.hops.summary("hops", include_p2=include_p2))
+        error = self.score_error.summary()
+        if error:
+            out.update(error)
+            count = out.get("stretch_count", 0)
+            if count:
+                out["stretch_stderr"] = out["std_stretch"] / math.sqrt(count)
         return out

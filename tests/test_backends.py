@@ -380,3 +380,91 @@ class TestVectorizedSampling:
                                oracle=DistanceOracle(graph, backend="lazy"))
         with pytest.raises(ValueError, match="at least one sampling batch"):
             sim.sample_pairs(2, seed=0, max_batches=0)
+
+
+class TestDenseRefusal:
+    """Regression: any path that would materialize an n×n matrix above the
+    dense node limit must fail fast with a clear error, never OOM.  The
+    mocked-small limit stands in for a genuinely large n."""
+
+    def test_constructor_refuses_above_limit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_NODE_LIMIT", "16")
+        graph = erdos_renyi_graph(24, seed=361)
+        with pytest.raises(ValueError, match="dense APSP backend refused"):
+            DenseAPSPBackend(graph)
+
+    def test_explicit_dense_oracle_refused(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_NODE_LIMIT", "8")
+        graph = erdos_renyi_graph(32, seed=362)
+        with pytest.raises(ValueError, match="REPRO_DENSE_NODE_LIMIT"):
+            DistanceOracle(graph, backend="dense")
+
+    def test_supplied_matrix_bypasses_refusal(self, monkeypatch):
+        graph = erdos_renyi_graph(20, seed=363)
+        matrix = DistanceOracle(graph, backend="dense").matrix
+        monkeypatch.setenv("REPRO_DENSE_NODE_LIMIT", "4")
+        oracle = DistanceOracle(graph, matrix=matrix)
+        assert oracle.backend_name == "dense"
+        np.testing.assert_allclose(oracle.row(0), matrix[0])
+
+    def test_auto_selection_stays_clear_of_refusal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_NODE_LIMIT", "8")
+        graph = erdos_renyi_graph(24, seed=364)
+        oracle = DistanceOracle(graph)
+        assert oracle.backend_name == "lazy"
+        assert np.isfinite(oracle.dist(0, 1))
+
+
+class TestLandmarkRowsCertificate:
+    """The landmark scoring mode's inputs: ``landmark_rows`` must be exact
+    distance rows, stay exact across churn (version sync), and yield valid
+    ALT lower bounds — the properties the stretch certificate rests on."""
+
+    def test_rows_are_exact_landmark_distances(self):
+        graph = random_geometric_graph(36, seed=345)
+        backend = LandmarkApproxBackend(graph, num_landmarks=5, seed=3)
+        dense = DistanceOracle(graph, backend="dense")
+        rows = backend.landmark_rows
+        assert rows.shape == (len(backend.landmarks), graph.n)
+        for i, landmark in enumerate(backend.landmarks):
+            np.testing.assert_allclose(rows[i], dense.row(landmark), atol=1e-9)
+
+    def test_rows_resync_after_churn(self):
+        graph = random_geometric_graph(36, seed=346)
+        backend = LandmarkApproxBackend(graph, num_landmarks=5, seed=3)
+        stale = backend.landmark_rows.copy()
+        u, v, w = next(graph.edges())
+        graph.set_edge_weight(u, v, w * 6)
+        graph.add_edge(u, (v + 1) % graph.n, 0.01)
+        rows = backend.landmark_rows
+        dense = DistanceOracle(graph, backend="dense")
+        for i, landmark in enumerate(backend.landmarks):
+            np.testing.assert_allclose(rows[i], dense.row(landmark), atol=1e-9)
+        assert not np.allclose(stale, rows)
+
+    def test_alt_lower_bound_below_truth_after_churn(self):
+        graph = random_geometric_graph(36, seed=347)
+        backend = LandmarkApproxBackend(graph, num_landmarks=6, seed=1)
+        u, v, w = next(graph.edges())
+        graph.set_edge_weight(u, v, w * 3)
+        rows = backend.landmark_rows
+        dense = DistanceOracle(graph, backend="dense")
+        diff = np.abs(rows[:, :, None] - rows[:, None, :])
+        bound = np.where(np.isfinite(diff), diff, 0.0).max(axis=0)
+        true = dense.matrix
+        mask = np.isfinite(true)
+        assert np.all(bound[mask] <= true[mask] + 1e-9)
+
+    def test_estimates_remain_upper_bounds_under_version_sync(self):
+        graph = random_geometric_graph(30, seed=348)
+        oracle = DistanceOracle(
+            graph, backend=LandmarkApproxBackend(graph, num_landmarks=5))
+        oracle.row(0)                       # warm the approximation cache
+        u, v, w = next(graph.edges())
+        graph.remove_edge(u, v)
+        exact = DistanceOracle(graph, backend="dense")
+        for s in range(graph.n):
+            true_row = exact.row(s)
+            est_row = oracle.row(s)
+            mask = np.isfinite(true_row)
+            assert np.all(est_row[mask] >= true_row[mask] - 1e-9)

@@ -1,0 +1,132 @@
+"""Construction-kernel parity: the numba sources must be set-identical to the
+numpy fallbacks, and ``REPRO_JIT=1`` builds must match default builds bit for
+bit (with numba absent the guard falls back silently, so this file passes
+either way; the CI jit job runs it with numba installed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.construction import kernels
+from repro.construction.kernels import (
+    _absorb_mark_py,
+    _ancestor_closure_py,
+    absorb_kernel,
+    ancestor_closure,
+    jit_requested,
+)
+from repro.covers.sparse_cover import build_sparse_cover
+from repro.factory import build_scheme
+from repro.graphs.generators import erdos_renyi_graph, random_geometric_graph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.routing.simulator import RoutingSimulator
+
+
+@pytest.fixture
+def jit_env(monkeypatch):
+    """REPRO_JIT=1 with a fresh compile state (restored afterwards)."""
+    monkeypatch.setenv("REPRO_JIT", "1")
+    monkeypatch.setitem(kernels._JIT_STATE, "loaded", False)
+    monkeypatch.setitem(kernels._JIT_STATE, "closure", None)
+    monkeypatch.setitem(kernels._JIT_STATE, "absorb", None)
+
+
+def random_forest(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A random rooted forest as a parent array (-1 at roots)."""
+    parent = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for i in range(1, n):
+        if rng.random() < 0.9:     # ~10% extra roots
+            parent[order[i]] = order[rng.integers(0, i)]
+    return parent
+
+
+class TestAncestorClosure:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_python_source_matches_numpy_fallback(self, monkeypatch, seed):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        rng = np.random.default_rng(seed)
+        n = 200
+        parent = random_forest(n, rng)
+        members = rng.choice(n, size=rng.integers(1, n), replace=False)
+        pre_kept = rng.choice(n, size=10, replace=False)
+
+        keep_np = np.zeros(n, dtype=bool)
+        keep_py = np.zeros(n, dtype=bool)
+        keep_np[pre_kept] = keep_py[pre_kept] = True
+        ancestor_closure(members, parent, keep_np)      # numpy fallback
+        _ancestor_closure_py(members.astype(np.int64), parent, keep_py)
+        np.testing.assert_array_equal(keep_np, keep_py)
+
+    def test_closure_contains_members_and_is_ancestor_closed(self):
+        rng = np.random.default_rng(11)
+        n = 120
+        parent = random_forest(n, rng)
+        members = rng.choice(n, size=30, replace=False)
+        keep = ancestor_closure(members, parent, np.zeros(n, dtype=bool))
+        assert keep[members].all()
+        kept = np.flatnonzero(keep)
+        parents = parent[kept]
+        assert keep[parents[parents >= 0]].all()
+
+    def test_jit_dispatch_matches_fallback(self, jit_env):
+        rng = np.random.default_rng(5)
+        n = 150
+        parent = random_forest(n, rng)
+        members = rng.choice(n, size=40, replace=False)
+        keep_jit = ancestor_closure(members, parent, np.zeros(n, dtype=bool))
+        frontier_keep = np.zeros(n, dtype=bool)
+        _ancestor_closure_py(members.astype(np.int64), parent, frontier_keep)
+        np.testing.assert_array_equal(keep_jit, frontier_keep)
+
+
+class TestAbsorbKernel:
+    def test_disabled_without_jit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert not jit_requested()
+        assert absorb_kernel() is None
+
+    @pytest.mark.parametrize("seed", [601, 602])
+    def test_pure_python_kernel_reproduces_numpy_cover(self, monkeypatch, seed):
+        """Force the fused path (interpreted, no numba) against the numpy one."""
+        graph = erdos_renyi_graph(60, seed=seed)
+        oracle = DistanceOracle(graph, backend="dense")
+        rho = float(np.nanpercentile(
+            np.where(np.isfinite(oracle.matrix), oracle.matrix, np.nan), 20))
+
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        baseline = build_sparse_cover(graph, 3, rho, oracle=oracle)
+        monkeypatch.setattr("repro.covers.sparse_cover.absorb_kernel",
+                            lambda: _absorb_mark_py)
+        fused = build_sparse_cover(graph, 3, rho, oracle=oracle)
+
+        assert baseline.home == fused.home
+        assert len(baseline.clusters) == len(fused.clusters)
+        for a, b in zip(baseline.clusters, fused.clusters):
+            assert (a.index, a.center) == (b.index, b.center)
+            assert a.nodes == b.nodes
+            assert a.kernel_centers == b.kernel_centers
+
+
+class TestJitBuildParity:
+    """REPRO_JIT=1 end-to-end: schemes must be bit-identical to default builds."""
+
+    @pytest.mark.parametrize("scheme_name", ["cowen", "awerbuch-peleg"])
+    def test_scheme_builds_identical(self, monkeypatch, jit_env, scheme_name):
+        graph = random_geometric_graph(64, seed=904)
+        oracle = DistanceOracle(graph, backend="dense")
+        jit_scheme = build_scheme(scheme_name, graph, k=2, seed=3,
+                                  oracle=oracle)
+        monkeypatch.delenv("REPRO_JIT")
+        ref_scheme = build_scheme(scheme_name, graph, k=2, seed=3,
+                                  oracle=oracle)
+
+        sim = RoutingSimulator(graph, oracle=oracle)
+        pairs = sim.sample_pairs(200, seed=8)
+        for u, v in pairs:
+            a = jit_scheme.route(u, graph.name_of(v))
+            b = ref_scheme.route(u, graph.name_of(v))
+            assert a.found == b.found
+            assert a.path == b.path
+            assert a.cost == b.cost

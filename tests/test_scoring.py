@@ -1,0 +1,169 @@
+"""Scoring modes: exact delivery accounting under approximation, certified
+landmark upper bounds, seeded sampling determinism, and error reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.shortest_path import ShortestPathRouting
+from repro.factory import build_scheme
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.shortest_paths import DistanceOracle
+from repro.traffic.engine import run_traffic
+from repro.traffic.models import make_traffic_model
+from repro.traffic.scoring import (
+    DEFAULT_SAMPLE_PER_BATCH,
+    LandmarkScorer,
+    SampledScorer,
+    make_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def scoring_graph():
+    return random_geometric_graph(160, seed=41)
+
+
+@pytest.fixture(scope="module")
+def scoring_oracle(scoring_graph):
+    return DistanceOracle(scoring_graph, backend="dense")
+
+
+@pytest.fixture(scope="module")
+def scoring_scheme(scoring_graph, scoring_oracle):
+    return ShortestPathRouting(scoring_graph, oracle=scoring_oracle)
+
+
+@pytest.fixture(scope="module")
+def scoring_model(scoring_graph):
+    return make_traffic_model("zipf", scoring_graph, seed=17, support=32)
+
+
+def run_mode(scheme, model, oracle, mode, **kwargs):
+    return run_traffic(scheme, model, 8192, batch_size=1024, shards=2,
+                       processes=0, oracle=oracle, scoring=mode, **kwargs)
+
+
+class TestModeRegistry:
+    def test_unknown_mode_rejected(self, scoring_graph, scoring_oracle):
+        with pytest.raises(Exception, match="unknown scoring mode"):
+            make_scorer("fuzzy", scoring_graph, scoring_oracle)
+
+    def test_exact_mode_is_inline(self, scoring_graph, scoring_oracle):
+        assert make_scorer("exact", scoring_graph, scoring_oracle) is None
+
+    def test_scorer_classes(self, scoring_graph, scoring_oracle):
+        assert isinstance(make_scorer("sampled", scoring_graph, scoring_oracle),
+                          SampledScorer)
+        assert isinstance(make_scorer("landmark", scoring_graph, scoring_oracle),
+                          LandmarkScorer)
+
+
+class TestDeliveryAccountingExact:
+    """Approximate scoring must never change the delivery counters."""
+
+    def test_counters_identical_across_modes(self, scoring_scheme,
+                                             scoring_model, scoring_oracle):
+        summaries = {
+            mode: run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                           mode).summary()
+            for mode in ("exact", "sampled", "landmark")
+        }
+        for key in ("delivered", "failures", "unreachable", "packets",
+                    "avg_hops", "max_hops"):
+            assert summaries["sampled"][key] == summaries["exact"][key]
+            assert summaries["landmark"][key] == summaries["exact"][key]
+
+    def test_report_records_mode(self, scoring_scheme, scoring_model,
+                                 scoring_oracle):
+        report = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                          "landmark")
+        assert report.scoring == "landmark"
+        assert report.as_row()["scoring"] == "landmark"
+        exact = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                         "exact")
+        assert exact.scoring == "exact"
+
+
+class TestSampledMode:
+    def test_sample_size_and_stderr_reported(self, scoring_scheme,
+                                             scoring_model, scoring_oracle):
+        report = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                          "sampled")
+        s = report.summary()
+        # 8 batches of 1024 packets, DEFAULT_SAMPLE_PER_BATCH each
+        assert s["stretch_count"] == 8 * DEFAULT_SAMPLE_PER_BATCH
+        assert "stretch_stderr" in s
+        # shortest-path truth: sampled exact stretch is exactly 1
+        assert s["avg_stretch"] == pytest.approx(1.0)
+
+    def test_sampled_stretch_is_exact_on_sample(self, scoring_graph,
+                                                scoring_oracle, scoring_model):
+        scheme = build_scheme("cowen", scoring_graph, k=2, seed=3,
+                              oracle=scoring_oracle)
+        exact = run_mode(scheme, scoring_model, scoring_oracle, "exact").summary()
+        sampled = run_mode(scheme, scoring_model, scoring_oracle,
+                           "sampled").summary()
+        assert sampled["max_stretch"] <= exact["max_stretch"] + 1e-12
+        assert sampled["avg_stretch"] <= exact["max_stretch"] + 1e-12
+
+    def test_deterministic_across_process_counts(self, scoring_scheme,
+                                                 scoring_model, scoring_oracle):
+        inline = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                          "sampled").summary()
+        forked = run_traffic(scoring_scheme, scoring_model, 8192,
+                             batch_size=1024, shards=2, processes=2,
+                             oracle=scoring_oracle, scoring="sampled").summary()
+        assert inline == forked
+
+
+class TestLandmarkMode:
+    def test_lower_bounds_never_exceed_truth(self, scoring_graph,
+                                             scoring_oracle):
+        scorer = make_scorer("landmark", scoring_graph, scoring_oracle, seed=5)
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, scoring_graph.n, size=500)
+        dst = rng.integers(0, scoring_graph.n, size=500)
+        bound = scorer.lower_bounds(src, dst)
+        true = scoring_oracle.pair_distances(dst, src)
+        mask = np.isfinite(true)
+        assert np.all(bound[mask] <= true[mask] + 1e-9)
+        # strictly positive wherever the pair is distinct and connected
+        assert np.all(bound[mask & (src != dst)] > 0)
+
+    def test_stretch_is_certified_upper_bound(self, scoring_scheme,
+                                              scoring_model, scoring_oracle):
+        exact = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                         "exact").summary()
+        landmark = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                            "landmark").summary()
+        assert landmark["avg_stretch"] >= exact["avg_stretch"] - 1e-12
+        assert landmark["max_stretch"] >= exact["max_stretch"] - 1e-12
+
+    def test_certificate_error_reported_nonnegative(self, scoring_scheme,
+                                                    scoring_model,
+                                                    scoring_oracle):
+        s = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                     "landmark").summary()
+        assert s["score_error_count"] > 0
+        assert s["avg_score_error"] >= -1e-12
+        assert s["max_score_error"] >= s["avg_score_error"] - 1e-12
+
+    def test_prebuilt_scorer_accepted(self, scoring_scheme, scoring_model,
+                                      scoring_graph, scoring_oracle):
+        scorer = make_scorer("landmark", scoring_graph, scoring_oracle,
+                             seed=17, sample_per_batch=16, num_landmarks=4)
+        report = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                          scorer)
+        assert report.scoring == "landmark"
+        assert report.summary()["score_error_count"] == 8 * 16
+
+
+class TestExactSummaryUnchanged:
+    def test_exact_mode_has_no_error_fields(self, scoring_scheme,
+                                            scoring_model, scoring_oracle):
+        s = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                     "exact").summary()
+        assert "score_error_count" not in s
+        assert "stretch_stderr" not in s
