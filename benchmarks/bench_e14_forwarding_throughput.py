@@ -40,7 +40,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 import time
@@ -51,7 +50,7 @@ from repro.factory import SCHEME_NAMES, build_scheme
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
 
-from common import bench_meta
+from common import bench_meta, write_bench_json
 
 DEFAULT_SIZES = [1000, 5000, 20000]
 DEFAULT_PAIRS = 2000
@@ -177,9 +176,7 @@ def main() -> None:
         "rows": rows,
         "meta": bench_meta(backend=args.backend),
     }
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(json_path, payload)
     print(f"wrote {json_path}")
 
     if args.assert_speedup:

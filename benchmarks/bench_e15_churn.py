@@ -33,7 +33,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 
@@ -42,7 +41,7 @@ from repro.dynamics.scenario import SCENARIO_NAMES, run_scenario_matrix
 from repro.experiments.workloads import workload_factory
 from repro.factory import SCHEME_NAMES
 
-from common import bench_meta
+from common import bench_meta, write_bench_json
 
 DEFAULT_N = 1000
 DEFAULT_EPOCHS = 5
@@ -165,9 +164,7 @@ def main() -> None:
         "rows": rows,
         "meta": bench_meta(backend=args.backend),
     }
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(json_path, payload)
     print(f"wrote {json_path}")
 
     if args.check:

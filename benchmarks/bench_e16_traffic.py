@@ -40,7 +40,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 
@@ -54,7 +53,7 @@ from repro.traffic.engine import run_traffic, run_traffic_exact
 from repro.traffic.models import make_traffic_model
 from repro.traffic.stats import LOG_QUANTILE_RTOL
 
-from common import bench_meta
+from common import bench_meta, write_bench_json
 
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
@@ -283,9 +282,7 @@ def main() -> None:
         "rows": rows,
         "meta": bench_meta(backend="lazy"),
     }
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(json_path, payload)
     print(f"wrote {json_path}")
 
     if args.assert_speedup:

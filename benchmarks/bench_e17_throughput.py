@@ -42,7 +42,7 @@ from repro.graphs.shortest_paths import DistanceOracle
 from repro.traffic.engine import run_traffic
 from repro.traffic.models import make_traffic_model
 
-from common import bench_meta
+from common import bench_meta, write_bench_json
 
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
@@ -227,9 +227,7 @@ def main() -> None:
         "rows": rows,
         "meta": bench_meta(backend="lazy"),
     }
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(json_path, payload)
     print(f"wrote {json_path}")
 
     if args.assert_speedup:

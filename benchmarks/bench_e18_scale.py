@@ -30,12 +30,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import multiprocessing as mp
 import os
 import time
 
-from common import bench_meta, peak_rss_bytes
+from common import bench_meta, peak_rss_bytes, write_bench_json
 
 DEFAULT_SIZES = [20000, 50000, 100000]
 DEFAULT_SCHEMES = ["shortest-path", "cowen"]
@@ -85,6 +84,10 @@ def run_rung(n: int, scheme_name: str, args, queue) -> None:
                          oracle=oracle, scoring=scorer)
     summary = report.stats.summary()
     storage = storage_report()
+    # under a bounding scorer (landmark) the stretch columns are certified
+    # upper bounds and carry the stretch_upper prefix; exact/sampled runs
+    # keep the plain stretch names — the two are never conflated in a row
+    prefix = report.stats.stretch_prefix
     row = {
         "n": n,
         "scheme": scheme_name,
@@ -101,12 +104,12 @@ def run_rung(n: int, scheme_name: str, args, queue) -> None:
         "delivered": int(summary["delivered"]),
         "failures": int(summary["failures"]),
         "unreachable": int(summary["unreachable"]),
-        "avg_stretch": summary["avg_stretch"],
-        "max_stretch": summary["max_stretch"],
-        "stretch_count": int(summary["stretch_count"]),
+        f"avg_{prefix}": summary[f"avg_{prefix}"],
+        f"max_{prefix}": summary[f"max_{prefix}"],
+        f"{prefix}_count": int(summary[f"{prefix}_count"]),
         "avg_score_error": summary.get("avg_score_error"),
         "max_score_error": summary.get("max_score_error"),
-        "stretch_stderr": summary.get("stretch_stderr"),
+        f"{prefix}_stderr": summary.get(f"{prefix}_stderr"),
         "peak_rss_bytes": peak_rss_bytes(),
         "spilled_bytes": storage["spilled_bytes"],
         "spill_count": storage["spill_count"],
@@ -138,9 +141,11 @@ def ladder(args, partial_path=None) -> list:
             row["rung_wall_s"] = round(time.perf_counter() - start, 2)
             rows.append(row)
             if partial_path:
-                # hours-long ladder: completed rungs survive a late crash
-                with open(partial_path, "w") as handle:
-                    json.dump(rows, handle, indent=2)
+                # hours-long ladder: completed rungs survive a late crash.
+                # the .partial file is scratch state (gitignored, never the
+                # final artifact) but still written atomically so it is
+                # readable at any instant
+                write_bench_json(partial_path, rows)
             print(f"{row['n']:>7} {row['scheme']:>15} "
                   f"build {row['build_s']:>8.1f}s "
                   f"route {row['route_s']:>7.1f}s {row['pps']:>9.0f} pps "
@@ -203,9 +208,11 @@ def main() -> None:
         "rows": rows,
         "meta": bench_meta(backend="lazy", scoring=args.scoring),
     }
-    with open(json_path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    write_bench_json(json_path, payload)
+    try:
+        os.unlink(json_path + ".partial")   # superseded by the complete file
+    except OSError:
+        pass
     print(f"wrote {json_path}")
 
     if args.assert_ok:

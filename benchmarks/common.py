@@ -10,10 +10,37 @@ budget with memmapped spill produce very different "seconds" columns.
 
 from __future__ import annotations
 
+import json
 import os
 import resource
 import sys
+import tempfile
 from typing import Dict, Optional
+
+
+def write_bench_json(path: str, payload: object) -> None:
+    """Atomically write a bench payload: temp file + rename on completion.
+
+    A ``BENCH_*.json`` must never exist half-written — a reader (or a commit)
+    racing a crashed or still-running bench would ship truncated JSON.  The
+    payload is serialized to a temp file in the destination directory and
+    ``os.replace``d into place, so the final path only ever holds a complete
+    document (rename within one filesystem is atomic on POSIX).
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def peak_rss_bytes() -> int:

@@ -218,6 +218,10 @@ class ShortestPathRouting(RoutingSchemeInstance):
                 self.tables[u].recharge("next_hop_entries",
                                         self.name_bits + port_bits,
                                         count=int(counts[u]))
+        # the live program was patched in place (its dense table shares the
+        # scheme's next-hop matrix): drop every derived lookup cache so the
+        # next batch rebuilds them from the repaired columns
+        self.compiled_forwarding().invalidate_caches()
         return RepairReport(
             scheme=self.scheme_name, strategy="incremental",
             seconds=_time.perf_counter() - start,

@@ -245,6 +245,13 @@ class ThorupZwickRouting(RoutingSchemeInstance):
         landmark_bits = bits_for_id(max(n, 2))
         for v in range(n):
             self.tables[v].charge("pivot_pointers", landmark_bits, count=k)
+        stale_program = getattr(self, "_compiled_program", None)
+        if stale_program is not None:
+            # a holder routing on the pre-repair program keeps consistent
+            # (stale) state; its derived caches must still be dropped so a
+            # post-repair replay through the same object cannot resolve
+            # entries against pre-repair slot/column snapshots
+            stale_program.invalidate_caches()
         self._compiled_program = None  # replan over the patched tree set
         return RepairReport(
             scheme=self.scheme_name, strategy="incremental",

@@ -352,3 +352,81 @@ def build_matrix(
     if keep_instances:
         result.metadata["instances"] = instances
     return result
+
+
+def run_live_matrix(
+    name: str,
+    schemes: Sequence[str],
+    graph_factory,
+    scenario: str = "flap-heavy",
+    k: int = 2,
+    epochs: int = 5,
+    epoch_packets: int = 100_000,
+    stale_packets: int = 4096,
+    model: str = "zipf",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    shards: int = 1,
+    seed: int = 0,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    model_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
+    engine: str = "lockstep",
+    processes: Optional[bool] = None,
+    scoring: str = "exact",
+    sample_per_batch: int = 8,
+    num_landmarks: int = 16,
+    repair: str = "maintain",
+    verify_determinism: bool = False,
+) -> ExperimentResult:
+    """Run the live-network timeline for every scheme; one row per epoch.
+
+    The live sibling of :func:`run_traffic_matrix`: each scheme gets its own
+    fresh copy of the graph (``graph_factory()`` — churn mutates it in
+    place), its own fresh scenario instance made from ``scenario`` (scenario
+    objects are stateful), and the *same* ``seed`` — so every scheme sees
+    the identical event sequence, staleness-window probes and traffic
+    batches, and the per-epoch rows are directly comparable across schemes.
+
+    Rows carry the union of :meth:`repro.live.EpochRecord.as_row` fields:
+    the epoch number, churn/repair accounting (``events``,
+    ``repair_strategy``, ``repair_seconds``, ``rebuilt_trees``, ...),
+    staleness-window loss (``stale_delivery``, ``stale_loss``), the SLA
+    delivery rate and the traffic engine's streamed delivery/stretch/hop
+    statistics.  Timeline-level summaries (exact cross-epoch merges plus
+    worst-epoch figures) land in ``result.metadata["timelines"]``.
+    """
+    # local import: repro.live pulls in dynamics.scenario, which imports
+    # this module — importing it lazily keeps the package graph acyclic
+    from repro.live import LiveSimulator
+
+    result = ExperimentResult(name=name)
+    result.metadata.update(scenario=scenario, model=model, k=k,
+                           epochs=epochs, epoch_packets=epoch_packets,
+                           stale_packets=stale_packets, seed=seed,
+                           engine=engine, repair=repair, scoring=scoring)
+    timelines: Dict[str, dict] = {}
+    for scheme_name in schemes:
+        graph = graph_factory()
+        oracle = DistanceOracle(graph, backend=backend)
+        kwargs = (scheme_kwargs or {}).get(scheme_name, {})
+        start = time.perf_counter()
+        scheme = build_scheme(scheme_name, graph, k=k, seed=seed,
+                              oracle=oracle, **kwargs)
+        build_seconds = time.perf_counter() - start
+        simulator = LiveSimulator(
+            scheme, scenario, oracle=oracle, model=model,
+            model_kwargs=model_kwargs, epochs=epochs,
+            epoch_packets=epoch_packets, batch_size=batch_size,
+            stale_packets=stale_packets, shards=shards,
+            processes=processes, engine=engine, scoring=scoring,
+            sample_per_batch=sample_per_batch, num_landmarks=num_landmarks,
+            repair=repair, seed=seed,
+            verify_determinism=verify_determinism)
+        timeline = simulator.run()
+        for row in timeline.rows():
+            row.update(scenario=timeline.scenario, n=graph.n, k=k,
+                       build_seconds=round(build_seconds, 4))
+            result.add_row(**row)
+        timelines[scheme_name] = timeline.summary()
+    result.metadata["timelines"] = timelines
+    return result

@@ -290,6 +290,22 @@ class TreeBank:
         self._slot_matrix = matrix
         return True
 
+    def invalidate_caches(self) -> None:
+        """Drop every lookup structure derived from the compiled slot arrays.
+
+        Churn repair re-slots trees (``_TreeSlots`` cached per tree object)
+        and recompiles the bank; a bank object that outlives a repair — e.g.
+        a live program patched mid-timeline — must drop both the dense
+        ``(tree, node) -> slot`` membership matrix and the fused kernels'
+        per-target root-path memo (``_path_cache``), or post-repair walks
+        would resolve entries and replay descents against pre-repair state.
+        Both rebuild lazily on the next batch.
+        """
+        self._slot_matrix = None
+        path_cache = getattr(self, "_path_cache", None)
+        if path_cache is not None:
+            path_cache.clear()
+
     # -- queries ---------------------------------------------------------- #
     def slots_of(self, tree_ids: np.ndarray, nodes: np.ndarray) -> np.ndarray:
         """Slot of each ``(tree, graph node)`` pair; ``-1`` for non-members."""
@@ -457,9 +473,20 @@ class NextHopTable:
         self._next = merged_next[order]
         # the cached destination columns snapshot the old entries — drop
         # them wholesale so the next batch_view rebuilds from live rows
+        self.invalidate_columns()
+        return int(keys.size)
+
+    def invalidate_columns(self) -> None:
+        """Drop the per-destination column cache (stale after a repair).
+
+        Any :class:`_SortedTableView` built before this call keeps its own
+        references to the old arrays — views are per-batch objects and must
+        be rebuilt via :meth:`batch_view` after a repair; the engines do this
+        every batch, so dropping the table-side cache here is what guarantees
+        post-repair batches see the patched rows.
+        """
         self._col_rank = None
         self._cols = None
-        return int(keys.size)
 
     def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
         """Next hop of each ``(node, destination)`` pair; ``-1`` when absent."""
@@ -602,7 +629,17 @@ class DenseNextHopTable:
         self._matrix[:, dirty] = -1
         if keys.size:
             self._matrix[keys // self.n, keys % self.n] = next_hops
+        self.invalidate_columns()
         return int(keys.size)
+
+    def invalidate_columns(self) -> None:
+        """Interface parity with :meth:`NextHopTable.invalidate_columns`.
+
+        The dense table has no derived cache: views gather through a ravel
+        *view* of the live matrix, so in-place column patches are coherent
+        by construction.  Kept as an explicit no-op so program-level
+        invalidation can treat every table uniformly.
+        """
 
     def lookup(self, nodes: np.ndarray, destinations: np.ndarray) -> np.ndarray:
         """Next hop of each ``(node, destination)`` pair; ``-1`` when absent."""
@@ -728,6 +765,20 @@ class ForwardingProgram:
     def plan(self, source: int, destination: int) -> PacketPlan:
         """Plan the legs of one request (both endpoints are node indices)."""
         return self._planner(source, destination)
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived lookup cache after an in-place repair.
+
+        ``maintain()`` implementations that patch a *live* program —
+        replacing table destination columns or re-slotting trees without
+        recompiling — must call this so the fused-kernel per-destination
+        column caches, the dense membership matrix, and the root-path memo
+        are rebuilt from the repaired state on the next batch.  Idempotent
+        and cheap; caches repopulate lazily.
+        """
+        self.bank.invalidate_caches()
+        for table in self.tables:
+            table.invalidate_columns()
 
     def describe(self) -> Dict[str, object]:
         """Compiled-state summary (diagnostics / benches)."""

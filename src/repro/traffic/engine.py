@@ -326,14 +326,15 @@ def stream_shard(scheme: RoutingSchemeInstance, model: TrafficModel,
             )
             _lap(timings, "reduce", t0)
 
-    stats = TrafficStats()
+    bounded = bool(getattr(scorer, "bounded", False))
+    stats = TrafficStats(bounded=bounded)
     if service:
         epoch = int(epoch_batches or DEFAULT_EPOCH_BATCHES)
         require(epoch >= 1, "an epoch must cover at least one batch")
         buffers = _BatchBuffers(batch_size)
         pending = list(my_batches)
         for lo in range(0, len(pending), epoch):
-            epoch_stats = TrafficStats()
+            epoch_stats = TrafficStats(bounded=bounded)
             run_batches(pending[lo:lo + epoch], epoch_stats, buffers)
             stats.merge(epoch_stats)
     else:
@@ -382,10 +383,16 @@ class TrafficReport:
         Field names mirror ``run_matrix`` rows where the quantities coincide
         (``avg_stretch``, ``max_stretch``, ``median_stretch``,
         ``p95_stretch``, ``failures``, ``engine``) so traffic rows drop into
-        the existing reporting/table helpers unchanged.
+        the existing reporting/table helpers unchanged.  Under a *bounding*
+        scorer (landmark mode) the stretch columns instead carry the
+        ``stretch_upper`` prefix — ``avg_stretch_upper``,
+        ``stretch_upper_p99``, ... — plus the ``avg/max_score_error``
+        certificate-slack fields, so a certified bound can never be read as
+        an exact measurement.
         """
         s = self.summary()
-        return {
+        p = self.stats.stretch_prefix
+        row: Dict[str, object] = {
             "scheme": self.scheme,
             "model": self.model,
             "engine": self.engine,
@@ -398,18 +405,35 @@ class TrafficReport:
             "delivered": int(s["delivered"]),
             "failures": int(s["failures"]),
             "unreachable": int(s["unreachable"]),
-            "avg_stretch": s["avg_stretch"],
-            "max_stretch": s["max_stretch"],
-            "median_stretch": s["stretch_p50"],
-            "p95_stretch": s["stretch_p95"],
-            "p99_stretch": s["stretch_p99"],
-            "p2_median_stretch": s["stretch_p2_p50"],
-            "p2_p95_stretch": s["stretch_p2_p95"],
+        }
+        if self.stats.bounded:
+            row.update({
+                f"avg_{p}": s[f"avg_{p}"],
+                f"max_{p}": s[f"max_{p}"],
+                f"{p}_p50": s[f"{p}_p50"],
+                f"{p}_p95": s[f"{p}_p95"],
+                f"{p}_p99": s[f"{p}_p99"],
+            })
+        else:
+            row.update({
+                "avg_stretch": s["avg_stretch"],
+                "max_stretch": s["max_stretch"],
+                "median_stretch": s["stretch_p50"],
+                "p95_stretch": s["stretch_p95"],
+                "p99_stretch": s["stretch_p99"],
+                "p2_median_stretch": s["stretch_p2_p50"],
+                "p2_p95_stretch": s["stretch_p2_p95"],
+            })
+        for key in ("avg_score_error", "max_score_error", f"{p}_stderr"):
+            if key in s:
+                row[key] = s[key]
+        row.update({
             "avg_hops": s["avg_hops"],
             "max_hops": s["max_hops"],
             "median_hops": s["hops_p50"],
             "p95_hops": s["hops_p95"],
-        }
+        })
+        return row
 
 
 def processes_enabled() -> bool:

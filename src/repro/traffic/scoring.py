@@ -70,6 +70,11 @@ class BatchScore(NamedTuple):
 class _ApproxScorer:
     """Shared machinery: component reachability + seeded per-batch samples."""
 
+    #: True when ``score`` emits certified *upper bounds* in the stretch
+    #: column instead of exact values; the stats layer then publishes the
+    #: stream under the ``stretch_upper`` field prefix.
+    bounded = False
+
     def __init__(self, graph: WeightedGraph, oracle: DistanceOracle,
                  seed=0, sample_per_batch: int = DEFAULT_SAMPLE_PER_BATCH) -> None:
         self.graph = graph
@@ -124,9 +129,15 @@ class SampledScorer(_ApproxScorer):
 
 
 class LandmarkScorer(_ApproxScorer):
-    """Certified stretch upper bounds from ALT landmark rows + exact sample."""
+    """Certified stretch upper bounds from ALT landmark rows + exact sample.
+
+    The stretch column this scorer emits is a *bound*, never a measurement:
+    downstream stats publish it as ``stretch_upper_*`` (``bounded = True``),
+    with the certified slack of the seeded exact sample in ``score_error``.
+    """
 
     mode = "landmark"
+    bounded = True
 
     def __init__(self, graph: WeightedGraph, oracle: DistanceOracle,
                  seed=0, sample_per_batch: int = DEFAULT_SAMPLE_PER_BATCH,

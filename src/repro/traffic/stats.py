@@ -294,6 +294,18 @@ class MetricStream:
                           weight + sketch.count)
         return out
 
+    def shift_batches(self, offset: int) -> None:
+        """Re-key every digest by ``batch_index + offset``.
+
+        Used when concatenating runs that each numbered their batches from
+        zero (e.g. the epochs of a live timeline) into one merged stream:
+        shifting makes the batch-index sets disjoint so ``merge`` stays exact.
+        """
+        offset = int(offset)
+        if offset == 0:
+            return
+        self._digests = {b + offset: d for b, d in self._digests.items()}
+
     def merge(self, other: "MetricStream") -> None:
         """Fold a disjoint shard's stream into this one (exact except P²)."""
         require(self.kind == other.kind, "cannot merge streams of different kinds")
@@ -393,6 +405,13 @@ class ErrorDigest:
         else:
             self._digests[batch_index] = (0, 0.0, 0.0, -math.inf)
 
+    def shift_batches(self, offset: int) -> None:
+        """Re-key every digest by ``batch_index + offset`` (see MetricStream)."""
+        offset = int(offset)
+        if offset == 0:
+            return
+        self._digests = {b + offset: d for b, d in self._digests.items()}
+
     def merge(self, other: "ErrorDigest") -> None:
         overlap = self._digests.keys() & other._digests.keys()
         require(not overlap,
@@ -433,19 +452,33 @@ class TrafficStats:
     packet count.  ``merge`` combines shards that streamed disjoint batch
     sets; every merged field except the P² diagnostics is exactly
     partition-independent (see the module docstring).
+
+    ``bounded`` records whether the stretch stream holds *certified upper
+    bounds* (a bounding scorer such as the landmark mode was active) rather
+    than exact stretch values.  Bounded runs publish their stretch fields
+    under the ``stretch_upper`` prefix (``avg_stretch_upper``,
+    ``stretch_upper_p99``, ...) so a bound is never mistaken for a
+    measurement; the certificate slack lives in the ``score_error`` fields.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bounded: bool = False) -> None:
         self.stretch = MetricStream("log", quantiles=(0.5, 0.95, 0.99))
         self.hops = MetricStream("int", quantiles=(0.5, 0.95, 0.99),
                                  p2_quantiles=(0.5, 0.95))
         #: certificate gaps from approximate scoring (empty under exact)
         self.score_error = ErrorDigest()
+        #: True when the stretch stream holds certified upper bounds
+        self.bounded = bool(bounded)
         self.packets = 0
         self.delivered = 0
         self.failures = 0       # reachable destination, scheme did not deliver
         self.unreachable = 0    # no path exists (e.g. detached by churn)
         self.batches: set = set()
+
+    @property
+    def stretch_prefix(self) -> str:
+        """Field-name prefix of the stretch stream: exact vs certified bound."""
+        return "stretch_upper" if self.bounded else "stretch"
 
     def update_batch(self, batch_index: int, stretch_values: np.ndarray,
                      hop_values: np.ndarray, packets: int, delivered: int,
@@ -465,11 +498,32 @@ class TrafficStats:
         self.failures += int(failures)
         self.unreachable += int(unreachable)
 
+    def shift_batches(self, offset: int) -> None:
+        """Re-key every folded batch by ``batch_index + offset``.
+
+        Makes batch-index sets disjoint when concatenating runs that each
+        numbered batches from zero (e.g. live-timeline epochs), so a
+        subsequent ``merge`` keeps its exactness guarantees.
+        """
+        offset = int(offset)
+        if offset == 0:
+            return
+        self.batches = {b + offset for b in self.batches}
+        self.stretch.shift_batches(offset)
+        self.hops.shift_batches(offset)
+        self.score_error.shift_batches(offset)
+
     def merge(self, other: "TrafficStats") -> "TrafficStats":
         """Fold a disjoint shard's stats into this one; returns ``self``."""
         overlap = self.batches & other.batches
         require(not overlap,
                 f"shards streamed overlapping batches: {sorted(overlap)[:4]}")
+        if not self.batches:
+            self.bounded = other.bounded
+        else:
+            require(self.bounded == other.bounded or not other.batches,
+                    "cannot merge exact-stretch stats with bounded-stretch "
+                    "stats: the streams measure different quantities")
         self.batches |= other.batches
         self.stretch.merge(other.stretch)
         self.hops.merge(other.hops)
@@ -488,7 +542,12 @@ class TrafficStats:
         partition (they are engine-independent but shard-dependent).  Under
         an approximate scoring mode the certificate-error fields
         (``avg/max/std_score_error``) and the sampling standard error of the
-        mean stretch (``stretch_stderr``) join the payload.
+        mean stretch (``{prefix}_stderr``) join the payload.
+
+        When ``bounded`` is set the stretch fields are emitted under the
+        ``stretch_upper`` prefix — they are certified upper bounds, not
+        measurements, and must never be compared against exact-mode
+        ``stretch`` fields.
         """
         out: Dict[str, float] = {
             "packets": self.packets,
@@ -496,12 +555,14 @@ class TrafficStats:
             "failures": self.failures,
             "unreachable": self.unreachable,
         }
-        out.update(self.stretch.summary("stretch", include_p2=include_p2))
+        prefix = self.stretch_prefix
+        out.update(self.stretch.summary(prefix, include_p2=include_p2))
         out.update(self.hops.summary("hops", include_p2=include_p2))
         error = self.score_error.summary()
         if error:
             out.update(error)
-            count = out.get("stretch_count", 0)
+            count = out.get(f"{prefix}_count", 0)
             if count:
-                out["stretch_stderr"] = out["std_stretch"] / math.sqrt(count)
+                out[f"{prefix}_stderr"] = \
+                    out[f"std_{prefix}"] / math.sqrt(count)
         return out

@@ -138,8 +138,27 @@ class TestLandmarkMode:
                          "exact").summary()
         landmark = run_mode(scoring_scheme, scoring_model, scoring_oracle,
                             "landmark").summary()
-        assert landmark["avg_stretch"] >= exact["avg_stretch"] - 1e-12
-        assert landmark["max_stretch"] >= exact["max_stretch"] - 1e-12
+        assert landmark["avg_stretch_upper"] >= exact["avg_stretch"] - 1e-12
+        assert landmark["max_stretch_upper"] >= exact["max_stretch"] - 1e-12
+
+    def test_bounds_never_published_as_exact_stretch(self, scoring_scheme,
+                                                     scoring_model,
+                                                     scoring_oracle):
+        """Landmark bounds live under stretch_upper_*, never plain stretch."""
+        report = run_mode(scoring_scheme, scoring_model, scoring_oracle,
+                          "landmark")
+        assert report.stats.bounded
+        s = report.summary()
+        assert "avg_stretch" not in s
+        assert "max_stretch" not in s
+        for key in ("avg_stretch_upper", "max_stretch_upper",
+                    "stretch_upper_p50", "stretch_upper_p99",
+                    "stretch_upper_stderr"):
+            assert key in s
+        row = report.as_row()
+        assert "avg_stretch" not in row
+        assert row["avg_stretch_upper"] == s["avg_stretch_upper"]
+        assert row["avg_score_error"] == s["avg_score_error"]
 
     def test_certificate_error_reported_nonnegative(self, scoring_scheme,
                                                     scoring_model,
