@@ -50,7 +50,7 @@ from repro.factory import SCHEME_NAMES, build_scheme
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
 
-from common import bench_meta, write_bench_json
+from common import bench_meta, default_json_path, write_bench_json
 
 DEFAULT_SIZES = [200, 1000, 5000, 20000]
 QUICK_SIZES = [200]
@@ -143,9 +143,7 @@ def main() -> None:
     sizes = args.sizes or (QUICK_SIZES if args.quick else DEFAULT_SIZES)
     min_speedup = args.min_speedup if args.min_speedup is not None \
         else (1.0 if args.quick else 3.0)
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e11.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e11.json")
 
     print("# E11: construction ladder, vectorized pipeline vs scalar baseline")
     header = (f"{'n':>6} {'scheme':>15} {'vect_s':>8} {'scalar_s':>9} "

@@ -50,7 +50,7 @@ from repro.factory import SCHEME_NAMES, build_scheme
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.routing.simulator import RoutingSimulator
 
-from common import bench_meta, write_bench_json
+from common import bench_meta, default_json_path, write_bench_json
 
 DEFAULT_SIZES = [1000, 5000, 20000]
 DEFAULT_PAIRS = 2000
@@ -134,9 +134,7 @@ def main() -> None:
 
     sizes = args.sizes or (QUICK_SIZES if args.quick else DEFAULT_SIZES)
     num_pairs = args.pairs or (QUICK_PAIRS if args.quick else DEFAULT_PAIRS)
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e14.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e14.json")
 
     print("# E14: evaluation throughput, scalar vs lockstep (pairs/second)")
     header = (f"{'n':>6} {'scheme':>15} {'build_s':>8} {'compile_s':>9} "

@@ -41,7 +41,7 @@ from repro.dynamics.scenario import SCENARIO_NAMES, run_scenario_matrix
 from repro.experiments.workloads import workload_factory
 from repro.factory import SCHEME_NAMES
 
-from common import bench_meta, write_bench_json
+from common import bench_meta, default_json_path, write_bench_json
 
 DEFAULT_N = 1000
 DEFAULT_EPOCHS = 5
@@ -107,9 +107,7 @@ def main() -> None:
     args.n = args.n or (QUICK_N if args.quick else DEFAULT_N)
     args.epochs = args.epochs or (QUICK_EPOCHS if args.quick else DEFAULT_EPOCHS)
     args.pairs = args.pairs or (QUICK_PAIRS if args.quick else DEFAULT_PAIRS)
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e15.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e15.json")
 
     print(f"# E15: churn scenario '{args.scenario}' at n={args.n}, "
           f"{args.epochs} epochs, {args.pairs} pairs/epoch")

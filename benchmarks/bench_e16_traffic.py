@@ -53,7 +53,8 @@ from repro.traffic.engine import run_traffic, run_traffic_exact
 from repro.traffic.models import make_traffic_model
 from repro.traffic.stats import LOG_QUANTILE_RTOL
 
-from common import bench_meta, write_bench_json
+from common import (assert_all_delivered, bench_meta, default_json_path,
+                    write_bench_json)
 
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
@@ -253,9 +254,7 @@ def main() -> None:
                                                   else 50_000)
     args.parity_scalar_packets = args.parity_scalar_packets or \
         (2000 if args.quick else 4000)
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e16.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e16.json")
 
     print("# E16: traffic engine — streamed statistics parity + sharded throughput")
     parity = parity_stage(args)
@@ -290,9 +289,7 @@ def main() -> None:
         mismatched = [r["scheme"] for r in rows if not r["stats_match"]]
         assert not mismatched, \
             f"sharded statistics diverge from single-process: {mismatched}"
-        undelivered = [r["scheme"] for r in rows
-                       if r["delivered"] != r["packets"]]
-        assert not undelivered, f"dropped packets under: {undelivered}"
+        assert_all_delivered(rows)
         slow = [r for r in rows if r["sharded_speedup"] < threshold]
         assert not slow, (
             f"sharded speedup below the core-aware threshold {threshold:.2f}x "

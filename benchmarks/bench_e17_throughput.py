@@ -42,7 +42,8 @@ from repro.graphs.shortest_paths import DistanceOracle
 from repro.traffic.engine import run_traffic
 from repro.traffic.models import make_traffic_model
 
-from common import bench_meta, write_bench_json
+from common import (assert_all_delivered, bench_meta, default_json_path,
+                    write_bench_json)
 
 DEFAULT_N = 20000
 DEFAULT_PACKETS = 1_000_000
@@ -204,9 +205,7 @@ def main() -> None:
                                     else DEFAULT_SCHEMES)
     args.shards = args.shards or (QUICK_SHARDS if args.quick
                                   else DEFAULT_SHARDS)
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e17.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e17.json")
 
     print("# E17: fused hop kernels — kernel vs legacy throughput ladder")
     baseline_pps = load_e16_baseline(json_path)
@@ -234,9 +233,7 @@ def main() -> None:
         mismatched = [r["scheme"] for r in rows if not r["stats_match"]]
         assert not mismatched, \
             f"kernel/service/sharded statistics diverge from legacy: {mismatched}"
-        undelivered = [r["scheme"] for r in rows
-                       if r["delivered"] != r["packets"]]
-        assert not undelivered, f"dropped packets under: {undelivered}"
+        assert_all_delivered(rows)
         slow = [r for r in rows if r["kernel_speedup"] < threshold]
         assert not slow, (
             f"fused kernels below the {threshold:.2f}x kernel-vs-legacy "

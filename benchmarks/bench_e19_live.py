@@ -41,7 +41,7 @@ from repro.dynamics.scenario import SCENARIO_NAMES
 from repro.experiments.harness import run_live_matrix
 from repro.graphs.generators import make_graph
 
-from common import bench_meta, write_bench_json
+from common import bench_meta, default_json_path, write_bench_json
 
 DEFAULT_N = 20_000
 DEFAULT_EPOCHS = 5
@@ -99,9 +99,7 @@ def main() -> None:
     # exact scoring is exact-oracle work per packet — fine at smoke scale,
     # certified landmark bounds at full scale (as in E18)
     scoring = args.scoring or ("exact" if args.quick else "landmark")
-    json_path = args.json or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_e19.json")
+    json_path = args.json or default_json_path(__file__, "BENCH_e19.json")
 
     print(f"# E19: live timeline '{args.scenario}' at n={args.n}, "
           f"{args.epochs} epochs x {args.packets} packets, "

@@ -57,6 +57,46 @@ def peak_rss_bytes() -> int:
     return int(peak)
 
 
+def default_json_path(script_file: str, filename: str) -> str:
+    """The committed artifact path for a bench: ``<repo root>/<filename>``.
+
+    Every emitter writes its ``BENCH_*.json`` beside the repo root (one
+    directory above ``benchmarks/``); this replaces the copy-pasted
+    ``dirname(dirname(abspath(__file__)))`` incantation in each script.
+    """
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(script_file))),
+        filename)
+
+
+def assert_all_delivered(rows, packets_key: str = "packets") -> None:
+    """The shared delivery gate: zero failures, exact packet accounting.
+
+    Raises ``AssertionError`` naming the offending ``(n, scheme)`` rungs.
+    Benches with extra gates (speedup thresholds, parity) layer them on
+    top of this one.
+    """
+    bad = [r for r in rows if r.get("failures", 0) != 0]
+    assert not bad, \
+        f"delivery failures at: {[(r.get('n'), r.get('scheme')) for r in bad]}"
+    assert all(r["delivered"] + r.get("unreachable", 0) == r[packets_key]
+               for r in rows if "delivered" in r), "packet accounting mismatch"
+
+
+def numba_version() -> str:
+    """The importable numba version, or ``"absent"``.
+
+    Recorded in every bench meta block: a ``REPRO_JIT=1`` run where numba
+    is absent silently falls back to the numpy kernels, and the committed
+    numbers must say which path actually executed.
+    """
+    try:
+        import numba
+        return str(numba.__version__)
+    except Exception:
+        return "absent"
+
+
 def bench_meta(backend: Optional[str] = None,
                scoring: Optional[str] = None) -> Dict[str, object]:
     """Metadata block recorded in every bench payload.
@@ -76,7 +116,10 @@ def bench_meta(backend: Optional[str] = None,
         "memory_budget_bytes": budget,
         "spilled_bytes": report["spilled_bytes"],
         "spill_count": report["spill_count"],
+        "spill_live_bytes": report.get("spill_live_bytes", 0),
+        "spill_high_water_bytes": report.get("spill_high_water_bytes", 0),
         "jit": os.environ.get("REPRO_JIT", "0") == "1",
+        "numba": numba_version(),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
     }

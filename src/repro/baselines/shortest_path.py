@@ -18,6 +18,7 @@ per-destination Python-heap Dijkstra loop for the build-parity tests.
 
 from __future__ import annotations
 
+import os
 from typing import Hashable, Optional
 
 import numpy as np
@@ -27,8 +28,26 @@ from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, dijkstra, exact_distance_oracle
 from repro.routing.messages import RouteResult
 from repro.routing.scheme_api import RoutingSchemeInstance
-from repro.storage import alloc_array
+from repro.storage import alloc_array, memory_budget
 from repro.utils.bitsize import bits_for_id
+
+
+def sp_block_size(n: int) -> int:
+    """Destinations per multi-source Dijkstra call in the blocked build.
+
+    ``REPRO_SP_BLOCK`` overrides directly.  The default is budget-aware:
+    one in-flight block costs ~``n * 12`` bytes per destination (float64
+    distance row + int32 predecessor row), and the cap keeps that slab
+    under a quarter of ``REPRO_MEMORY_BUDGET`` so the (possibly
+    memmapped) next-hop matrix stays the only full-size object in play.
+    """
+    raw = os.environ.get("REPRO_SP_BLOCK", "").strip()
+    if raw:
+        return max(int(raw), 1)
+    budget = memory_budget()
+    slab = (4 << 30) if budget is None else budget // 4
+    per_dest = max(n, 1) * 12
+    return int(min(4096, max(64, slab // per_dest)))
 
 
 class ShortestPathRouting(RoutingSchemeInstance):
@@ -49,20 +68,26 @@ class ShortestPathRouting(RoutingSchemeInstance):
         self._next_hop: np.ndarray = alloc_array((graph.n, graph.n), np.int32,
                                                  fill=-1)
         if scalar_build_mode():
-            self._build_scalar()
+            counts = self._build_scalar()
         else:
-            self._build()
-        self._charge_tables()
+            counts = self._build()
+        self._charge_tables(counts)
 
-    def _build(self) -> None:
-        """Fill the next-hop matrix with one kernel call per destination block."""
+    def _build(self) -> np.ndarray:
+        """Fill the next-hop matrix with one kernel call per destination block.
+
+        Returns the per-source entry counts, accumulated from the same
+        predecessor blocks the build streams — the space accounting then
+        never has to re-read the (possibly memmapped) matrix.
+        """
         graph = self.graph
+        counts = np.zeros(graph.n, dtype=np.int64)
         if graph.num_edges == 0:
-            return
+            return counts
         from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 
         csr = graph.to_scipy_csr()
-        block = 256
+        block = sp_block_size(graph.n)
         for start in range(0, graph.n, block):
             targets = np.arange(start, min(start + block, graph.n))
             pred = _scipy_dijkstra(csr, directed=False, indices=targets,
@@ -71,30 +96,42 @@ class ShortestPathRouting(RoutingSchemeInstance):
             # pred[t, x] = node before x on the path from t, i.e. x's next hop
             # toward t; sources with no path (and t itself) stay -1
             self._next_hop[:, targets] = np.where(pred < 0, -1, pred).T
+            counts += (pred >= 0).sum(axis=0)
+        return counts
 
-    def _build_scalar(self) -> None:
+    def _build_scalar(self) -> np.ndarray:
         """Original per-destination Python-heap loop (build-parity reference)."""
         graph = self.graph
+        counts = np.zeros(graph.n, dtype=np.int64)
         for target in range(graph.n):
             # A single Dijkstra from the *destination* gives every source's
             # next hop at once (the parent pointer points toward the target).
             dist, parent = dijkstra(graph, target)
             reachable = np.isfinite(dist) & (parent >= 0)
             self._next_hop[reachable, target] = parent[reachable]
+            counts[reachable] += 1
+        return counts
 
-    def _charge_tables(self) -> None:
+    def _charge_tables(self, counts: Optional[np.ndarray] = None) -> None:
         graph = self.graph
         port_bits = bits_for_id(max(graph.max_degree(), 1)) if graph.num_edges else 1
-        # row-blocked so the comparison temporary stays ~256 MB rather than a
-        # full n×n bool (10 GB at n=100k, defeating the memory budget)
-        counts = np.empty(graph.n, dtype=np.int64)
-        block = max(1, (1 << 28) // max(graph.n, 1))
-        for start in range(0, graph.n, block):
-            stop = min(start + block, graph.n)
-            counts[start:stop] = (self._next_hop[start:stop] >= 0).sum(axis=1)
+        if counts is None:
+            counts = self._entry_counts()
         for u in range(graph.n):
             self.tables[u].charge("next_hop_entries", self.name_bits + port_bits,
                                   count=int(counts[u]))
+
+    def _entry_counts(self) -> np.ndarray:
+        """Per-source live-entry counts, row-blocked so the comparison
+        temporary stays ~256 MB rather than a full n×n bool (10 GB at
+        n=100k, defeating the memory budget)."""
+        n = self.graph.n
+        counts = np.empty(n, dtype=np.int64)
+        block = max(1, (1 << 28) // max(n, 1))
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            counts[start:stop] = (self._next_hop[start:stop] >= 0).sum(axis=1)
+        return counts
 
     # ------------------------------------------------------------------ #
     # dynamic maintenance
@@ -213,7 +250,7 @@ class ShortestPathRouting(RoutingSchemeInstance):
             # re-account the per-node space charge
             port_bits = bits_for_id(max(graph.max_degree(), 1)) \
                 if graph.num_edges else 1
-            counts = (self._next_hop >= 0).sum(axis=1)
+            counts = self._entry_counts()
             for u in range(n):
                 self.tables[u].recharge("next_hop_entries",
                                         self.name_bits + port_bits,

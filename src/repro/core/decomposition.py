@@ -66,14 +66,22 @@ class NeighborhoodDecomposition:
         # streamed through the oracle so the table costs O(block · n) transient
         # memory under the lazy backend instead of a materialized O(n²) matrix.
         radii = self.d_min * np.power(2.0, np.arange(self.max_exp + 1)) + 1e-12
-        self._ball_size_table = np.empty((self.n, self.max_exp + 1), dtype=np.int64)
+        levels = self.max_exp + 1
+        self._ball_size_table = np.empty((self.n, levels), dtype=np.int64)
         for chunk, rows in self.oracle.iter_row_blocks():
-            # |B(u, r)| per (row, radius) with one vectorized count per
-            # radius — no per-row sort, no per-node Python, and flat
-            # O(block · n) transient memory (inf rows never pass <=)
+            # One searchsorted pass buckets every distance into the first
+            # radius level containing it (`left` == first j with r_j >= d,
+            # so the bucket test matches `d <= r_j` exactly; inf lands past
+            # the last level and is dropped).  A per-row histogram + cumsum
+            # then yields |B(u, r_j)| for all j at once — one O(log levels)
+            # pass over the block instead of `levels` full boolean sweeps.
             chunk_idx = np.asarray(chunk)
-            for j, radius in enumerate(radii):
-                self._ball_size_table[chunk_idx, j] = (rows <= radius).sum(axis=1)
+            buckets = np.searchsorted(radii, rows, side="left")
+            flat = np.arange(len(chunk_idx))[:, None] * (levels + 1) + buckets
+            hist = np.bincount(flat.ravel(),
+                               minlength=len(chunk_idx) * (levels + 1))
+            hist = hist.reshape(len(chunk_idx), levels + 1)[:, :levels]
+            self._ball_size_table[chunk_idx] = np.cumsum(hist, axis=1)
 
         # ranges a(u, 0..k+1), all nodes at once (one boolean-matrix argmax
         # per level instead of n per-node probe loops), plus the dense/sparse

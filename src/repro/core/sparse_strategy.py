@@ -25,7 +25,8 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.construction.context import BuildContext, SPTJob, scalar_build_mode
+from repro.construction.context import (BuildContext, SPTJob,
+                                        limited_dijkstra, scalar_build_mode)
 from repro.core.decomposition import NeighborhoodDecomposition
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.params import AGMParams
@@ -82,8 +83,26 @@ class SparseStrategy:
     # ------------------------------------------------------------------ #
     def _build(self, seed, context: BuildContext) -> None:
         """Array-native build: every per-(node, level) loop of the scalar path
-        becomes one masked-matrix operation per streamed row block, and the
-        center trees grow as one batched SPT forest."""
+        becomes one masked-matrix operation, and the center trees grow as one
+        batched SPT forest.
+
+        Unlike the original streamed version, no pass here sweeps all ``n``
+        rows unless it truly has to:
+
+        * centers come from per-level nearest-member tables (``|C_j|`` rows
+          per landmark level instead of ``n``) — the highest rank present in
+          ``A(u, i)`` is the largest ``j`` whose nearest ``C_j`` member sits
+          within the level radius, because the level sets are nested;
+        * a level ``j`` with ``|C_j| <= nearby_count`` is *degenerate*:
+          ``S(v, j)`` keeps every reachable member, so a used center whose
+          top rank class is that small serves exactly its connected
+          component and needs no membership scan at all.  At the paper
+          constants every level is degenerate for realistic ``n`` (see
+          ``AGMParams``), which deletes the quadratic membership pass;
+        * the search-bound pass only fetches a distance row when the
+          E-radius cannot already be certified to cover the whole tree by
+          the triangle inequality — and then only a radius-limited row.
+        """
         graph, k = self.graph, self.k
         n = graph.n
         decomposition, landmarks = self.decomposition, self.landmarks
@@ -92,76 +111,94 @@ class SparseStrategy:
         rank = landmarks._rank_array
         level_arrays = landmarks._level_arrays
         d_min = decomposition.d_min
-
-        # 1 + 2 in one streamed pass over the rows: the centers c(u, i) of
-        # every sparse level (highest rank in A(u, i), then nearest member of
-        # that rank class) and the nearby-landmark memberships c in S(v)
-        # (top-``nearby_count`` of each level by (distance, id), realized by
-        # one stable argsort per row block).
         nearby = landmarks.nearby_count
-        served_v_parts: List[np.ndarray] = []
-        served_c_parts: List[np.ndarray] = []
-        served_d_parts: List[np.ndarray] = []
-        for chunk, rows in self.oracle.iter_row_blocks():
-            chunk_arr = np.asarray(chunk, dtype=np.int64)
-            for i in range(k + 1):
-                sel = np.flatnonzero(~dense_tbl[chunk_arr, i])
-                if sel.size:
-                    us = chunk_arr[sel]
-                    if i == 0:
-                        m_vals = rank[us]
-                    else:
-                        radii = d_min * np.power(2.0, ranges[us, i].astype(float))
-                        mask = rows[sel] <= radii[:, None] + 1e-12
-                        m_vals = np.where(mask, rank[None, :], -1).max(axis=1)
-                    for m in np.unique(m_vals):
-                        grp = sel[m_vals == m]
-                        members = level_arrays[int(m)]
-                        require(members.size > 0,
-                                f"no member of C_{int(m)} exists")
-                        dists = rows[grp][:, members]
-                        best = np.argmin(dists, axis=1)
-                        found = dists[np.arange(grp.size), best]
-                        require(bool(np.isfinite(found).all()),
-                                f"no reachable member of C_{int(m)}")
-                        for u, c in zip(chunk_arr[grp].tolist(),
-                                        members[best].tolist()):
-                            self.center_of[(u, i)] = int(c)
-            for i in range(k + 1):
-                members = level_arrays[i]
-                if members.size == 0:
-                    continue
-                dists = rows[:, members]
-                top = np.argsort(dists, axis=1, kind="stable")[:, :nearby]
-                dvals = np.take_along_axis(dists, top, axis=1)
-                ids = members[top]
-                ok = np.isfinite(dvals)
-                rr, cc = np.nonzero(ok)
-                served_v_parts.append(chunk_arr[rr])
-                served_c_parts.append(ids[rr, cc])
-                served_d_parts.append(dvals[rr, cc])
+
+        # 1. centers c(u, i) for every sparse level, sweep-free.  For each
+        # nonempty level j >= 1 the oracle's nearest_member table gives every
+        # node its closest C_j member (smallest id on ties — the same
+        # tie-break as the row argmin it replaces); level 0's table is the
+        # identity (every node is its own nearest C_0 member at distance 0).
+        near_ids: Dict[int, np.ndarray] = {0: np.arange(n, dtype=np.int64)}
+        near_d: Dict[int, np.ndarray] = {0: np.zeros(n)}
+        for j in range(1, k + 1):
+            if level_arrays[j].size:
+                ids_j, d_j = self.oracle.nearest_member(level_arrays[j])
+                near_ids[j], near_d[j] = ids_j.astype(np.int64), d_j
+        for i in range(k + 1):
+            sel = np.flatnonzero(~dense_tbl[:, i])
+            if sel.size == 0:
+                continue
+            if i == 0:
+                m_vals = rank[sel].astype(np.int64)
+            else:
+                radii = d_min * np.power(2.0, ranges[sel, i].astype(float))
+                m_vals = np.zeros(sel.size, dtype=np.int64)  # u covers j=0
+                for j in sorted(near_d):
+                    if j == 0:
+                        continue
+                    hit = near_d[j][sel] <= radii + 1e-12
+                    m_vals[hit] = j   # ascending j: the last hit is the max
+            centers = np.empty(sel.size, dtype=np.int64)
+            for m in np.unique(m_vals):
+                require(int(m) in near_ids and level_arrays[int(m)].size > 0,
+                        f"no member of C_{int(m)} exists")
+                grp = m_vals == m
+                centers[grp] = near_ids[int(m)][sel[grp]]
+                require(bool(np.isfinite(near_d[int(m)][sel[grp]]).all()),
+                        f"no reachable member of C_{int(m)}")
+            for u, c in zip(sel.tolist(), centers.tolist()):
+                self.center_of[(u, int(i))] = int(c)
+
         used_centers = sorted({c for c in self.center_of.values()})
         used_mask = np.zeros(n, dtype=bool)
         used_mask[used_centers] = True
 
-        served_v = np.concatenate(served_v_parts) if served_v_parts \
-            else np.zeros(0, dtype=np.int64)
-        served_c = np.concatenate(served_c_parts) if served_c_parts \
-            else np.zeros(0, dtype=np.int64)
-        served_d = np.concatenate(served_d_parts) if served_d_parts \
-            else np.zeros(0)
-        keep = used_mask[served_c]
-        served_v, served_c, served_d = served_v[keep], served_c[keep], served_d[keep]
+        # 2. which nodes each used center serves.  A used center whose own
+        # rank class is degenerate (|C_rank| <= nearby, so every applicable
+        # S(v, rank) keeps all reachable members) serves its whole connected
+        # component; only the remaining centers need the streamed
+        # top-``nearby`` membership scan, and only the levels small enough
+        # to be selective are scanned.
+        level_sizes = [arr.size for arr in level_arrays]
+        comp_ids = graph.component_ids()
+        members_of: Dict[int, Set[int]] = {}
+        limit_of: Dict[int, Optional[float]] = {}
+        sweep_mask = np.zeros(n, dtype=bool)
+        for c in used_centers:
+            if level_sizes[int(rank[c])] <= nearby:
+                comp = np.flatnonzero(comp_ids == comp_ids[c])
+                members_of[c] = set(comp.tolist())
+                members_of[c].add(c)
+                limit_of[c] = None
+            else:
+                members_of[c] = {c}
+                limit_of[c] = 0.0
+                sweep_mask[c] = True
+        sweep_levels = [j for j in range(k + 1)
+                        if level_sizes[j] > nearby
+                        and bool(sweep_mask[level_arrays[j]].any())]
+        if sweep_levels:
+            for chunk, rows in self.oracle.iter_row_blocks():
+                chunk_arr = np.asarray(chunk, dtype=np.int64)
+                for j in sweep_levels:
+                    members = level_arrays[j]
+                    dists = rows[:, members]
+                    top = np.argsort(dists, axis=1, kind="stable")[:, :nearby]
+                    dvals = np.take_along_axis(dists, top, axis=1)
+                    ids = members[top]
+                    ok = np.isfinite(dvals) & sweep_mask[ids]
+                    rr, cc = np.nonzero(ok)
+                    for v, c, d in zip(chunk_arr[rr].tolist(),
+                                       ids[rr, cc].tolist(),
+                                       dvals[rr, cc].tolist()):
+                        members_of[c].add(v)
+                        if d > limit_of[c]:
+                            limit_of[c] = float(d)
 
         # 3. build T(c) for every used center as one batched SPT forest; each
-        # job's limit is its farthest served node, so low-rank center trees
-        # are local searches
-        members_of: Dict[int, Set[int]] = {c: {c} for c in used_centers}
-        limit_of: Dict[int, float] = {c: 0.0 for c in used_centers}
-        for v, c, d in zip(served_v.tolist(), served_c.tolist(), served_d.tolist()):
-            members_of[c].add(v)
-            if d > limit_of[c]:
-                limit_of[c] = float(d)
+        # scanned center's limit is its farthest served node, so low-rank
+        # center trees are local searches (component centers span everything
+        # reachable, so they run unlimited)
         jobs = [SPTJob(c, sorted(members_of[c]), limit_of[c]) for c in used_centers]
         names = graph.names_view()
         for index, (c, tree) in enumerate(zip(used_centers,
@@ -173,30 +210,61 @@ class SparseStrategy:
                 seed=derive_rng(seed, 101, index),
             )
 
-        # 4. search bounds b(u, i): one row fetch per *u-sorted* block (each
-        # row is fetched once no matter how many levels/centers reference it),
-        # with per-center (tree nodes, digits) arrays cached so the E-ball max
-        # is a small gather per key instead of an n-sized vector per center
+        # 4. search bounds b(u, i): when the E-radius provably reaches past
+        # the whole tree (d(u, c) + the tree's max depth, with a generous
+        # float margin), the bound is the tree-wide digit max and no row is
+        # touched; otherwise a radius-limited row (exact within the radius,
+        # inf beyond — both sides of the <= radius test unchanged) feeds the
+        # same masked gather as before
         shrink = self.params.sparse_shrink
         tree_nodes_of: Dict[int, np.ndarray] = {}
         digits_of: Dict[int, np.ndarray] = {}
+        depth_of: Dict[int, Dict[int, float]] = {}
+        max_depth_of: Dict[int, float] = {}
+        max_digit_of: Dict[int, int] = {}
         for c, routing in self.trees.items():
             nodes_arr = np.asarray(routing.tree.nodes, dtype=np.int64)
             tree_nodes_of[c] = nodes_arr
             digits_of[c] = np.asarray(
                 [max(routing.digits_of(v), 1) for v in routing.tree.nodes],
                 dtype=np.int64)
-        all_keys = sorted(self.center_of)
-        for chunk in self.oracle.iter_prefetched_chunks(all_keys,
-                                                        source=lambda key: key[0]):
-            for u, i in chunk:
-                c = self.center_of[(u, i)]
-                row = self.oracle.row(u)
-                radius = d_min * (2.0 ** float(ranges[u, i + 1])) / shrink
-                nodes_arr = tree_nodes_of[c]
-                within = row[nodes_arr] <= radius + 1e-12
-                bound = int(digits_of[c][within].max(initial=0))
-                self.bound_of[(u, i)] = max(bound, 1)
+            max_digit_of[c] = int(digits_of[c].max(initial=0))
+            depth_of[c] = routing.tree.depth
+            max_depth_of[c] = max(routing.tree.depth.values(), default=0.0)
+        slow_keys: List[Tuple[int, int]] = []
+        for u, i in sorted(self.center_of):
+            c = self.center_of[(u, i)]
+            radius = d_min * (2.0 ** float(ranges[u, i + 1])) / shrink
+            reach = depth_of[c].get(u)
+            if reach is not None and \
+                    radius >= (reach + max_depth_of[c]) * (1 + 1e-9) + 1e-9:
+                self.bound_of[(u, i)] = max(max_digit_of[c], 1)
+            else:
+                slow_keys.append((u, i))
+        if slow_keys:
+            radius_of = {
+                key: d_min * (2.0 ** float(ranges[key[0], key[1] + 1])) / shrink
+                for key in slow_keys}
+            by_u: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+            for key in slow_keys:
+                by_u[key[0]].append(key)
+            u_limit = {u: max(radius_of[key] for key in keys)
+                       for u, keys in by_u.items()}
+            order = sorted(by_u, key=lambda u: (u_limit[u], u))
+            csr = graph.to_scipy_csr()
+            block = self.oracle.block_rows()
+            for start in range(0, len(order), block):
+                batch = order[start:start + block]
+                limit = max(u_limit[u] for u in batch)
+                rows = limited_dijkstra(csr, batch, limit)
+                for local, u in enumerate(batch):
+                    row = rows[local]
+                    for key in by_u[u]:
+                        c = self.center_of[key]
+                        nodes_arr = tree_nodes_of[c]
+                        within = row[nodes_arr] <= radius_of[key] + 1e-12
+                        bound = int(digits_of[c][within].max(initial=0))
+                        self.bound_of[key] = max(bound, 1)
 
         self._charge_tables()
 

@@ -34,6 +34,7 @@ by the build-parity tests).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -44,6 +45,26 @@ from repro.construction.kernels import absorb_kernel
 from repro.graphs.graph import WeightedGraph
 from repro.graphs.shortest_paths import DistanceOracle, exact_distance_oracle
 from repro.utils.validation import require
+
+#: coarsening strategies accepted by ``REPRO_COVER_MODE``
+COVER_MODES = ("auto", "csr", "regions")
+
+
+def cover_mode() -> str:
+    """Coarsening strategy knob (``REPRO_COVER_MODE``): auto|csr|regions.
+
+    ``csr`` materializes the full ball incidence table once and coarsens
+    against it (the PR-4 path; best when balls are small).  ``regions`` never
+    builds the table: clusters grow by multi-source ``min_only`` Dijkstra
+    regions, so large-radius scales — where every ball is a sizable fraction
+    of the graph and the table would be O(n²) — cost a handful of Dijkstra
+    passes per cluster instead.  ``auto`` samples a few ball sizes and picks.
+    """
+    raw = os.environ.get("REPRO_COVER_MODE", "auto").strip().lower() or "auto"
+    if raw not in COVER_MODES:
+        raise ValueError(
+            f"unknown REPRO_COVER_MODE {raw!r}; choose from {COVER_MODES}")
+    return raw
 
 
 @dataclass
@@ -129,6 +150,11 @@ def build_sparse_cover(
     if nodes is not None:
         allowed_mask = np.zeros(graph.n, dtype=bool)
         allowed_mask[universe] = True
+    mode = cover_mode()
+    if mode == "auto":
+        mode = _choose_cover_mode(graph, k, rho, universe, allowed_mask)
+    if mode == "regions":
+        return _coarsen_regions(graph, k, rho, universe, growth, allowed_mask)
     indptr, indices = context.ball_csr(rho, universe=universe,
                                        allowed_mask=allowed_mask)
     return _coarsen_vectorized(graph.n, k, rho, universe, growth, indptr, indices)
@@ -267,6 +293,146 @@ def _coarsen_vectorized(n: int, k: int, rho: float, universe: np.ndarray,
                     break
                 kernel = touch_set
                 absorb(cid, touch_set, members_parts, mark=True)
+            else:  # pragma: no cover - the growth loop always breaks within k+1 rounds
+                raise RuntimeError("sparse cover growth loop failed to terminate")
+
+    return SparseCover(k=k, rho=rho, clusters=clusters, home=home)
+
+
+# --------------------------------------------------------------------------- #
+# region-growing coarsening (REPRO_COVER_MODE=regions / auto at large rho)
+# --------------------------------------------------------------------------- #
+def _limited_min_dist(csr, sources: np.ndarray, rho: float) -> np.ndarray:
+    """Min distance from ``sources`` to every node, exact within ``rho``.
+
+    The limit is widened the same way :meth:`BuildContext.limited_dijkstra`
+    widens it, so every node that could pass the ``<= rho + 1e-12`` ball test
+    is finalized with its exact distance; nodes beyond come back ``inf``.
+    """
+    from scipy.sparse.csgraph import dijkstra
+
+    limit = rho * (1.0 + 1e-12) + 1e-12
+    return dijkstra(csr, directed=False, indices=sources, min_only=True,
+                    limit=limit)
+
+
+def _choose_cover_mode(graph: WeightedGraph, k: int, rho: float,
+                       universe: np.ndarray,
+                       allowed_mask: Optional[np.ndarray]) -> str:
+    """Sample a few ball sizes and pick csr vs regions for this scale.
+
+    The csr table costs one row per universe node (n Dijkstra rows) plus
+    ``total ball entries × 8`` bytes; region growing costs ``O(k)`` Dijkstra
+    passes per *cluster*.  Large sampled balls mean few clusters — regions
+    wins; small balls mean ~one cluster per node — the streamed table wins.
+    """
+    num = universe.size
+    if num < 2048:
+        return "csr"   # small instance: the table is cheap and exact
+    samples = universe[:: max(num // 8, 1)][:8]
+    sizes = []
+    csr = graph.to_scipy_csr()
+    for s in samples:
+        row = _limited_min_dist(csr, np.asarray([s], dtype=np.int64), rho)
+        in_ball = row <= rho + 1e-12
+        if allowed_mask is not None:
+            in_ball &= allowed_mask
+        sizes.append(int(np.count_nonzero(in_ball)))
+    avg_ball = float(np.mean(sizes)) if sizes else 1.0
+    return "regions" if avg_ball >= max(32.0, 4.0 * (k + 2)) else "csr"
+
+
+def _coarsen_regions(graph: WeightedGraph, k: int, rho: float,
+                     universe: np.ndarray, growth: float,
+                     allowed_mask: Optional[np.ndarray]) -> SparseCover:
+    """Ball-table-free coarsening: clusters grow as min-only Dijkstra regions.
+
+    Decision-for-decision the same loop as :func:`_coarsen_vectorized` — the
+    same center order, growth test and phase bookkeeping — but the two set
+    queries are answered from the graph instead of a precomputed incidence:
+
+    * *absorb*: the union of the fresh kernel balls is exactly the set of
+      allowed nodes within ``rho`` of the fresh centers — one multi-source
+      ``min_only`` pass from those centers (the multi-source distance is the
+      per-source minimum bit-for-bit, so the ball test matches the table);
+    * *touching*: a pending ball touches the cluster iff its center is
+      within ``rho`` of some cluster node — a running minimum over
+      per-layer ``min_only`` passes sourced at the newly absorbed nodes.
+
+    Worst case (tiny balls) this is a Dijkstra pass per cluster; the auto
+    mode only picks it when sampled balls are large, i.e. when the csr table
+    would be a significant fraction of O(n²).
+    """
+    n = graph.n
+    csr = graph.to_scipy_csr()
+    num = universe.size
+    tol = rho + 1e-12
+
+    remaining = np.ones(num, dtype=bool)
+    pending = np.zeros(num, dtype=bool)
+    node_stamp = np.full(n, -1, dtype=np.int64)
+    merged_stamp = np.full(num, -1, dtype=np.int64)
+
+    clusters: List[Cluster] = []
+    home: Dict[int, int] = {}
+    remaining_count = num
+
+    while remaining_count:
+        pending[:] = remaining
+        pending_count = int(remaining_count)
+        cursor = 0
+        while pending_count:
+            cursor += int(np.argmax(pending[cursor:]))
+            v = cursor
+            cid = len(clusters)
+            kernel = np.asarray([v], dtype=np.int64)
+            members_parts: List[np.ndarray] = []
+            # min distance from the cluster body to every node so far
+            cluster_dist = np.full(n, np.inf)
+
+            def absorb(positions: np.ndarray, mark: bool) -> None:
+                fresh = positions[merged_stamp[positions] != cid]
+                if fresh.size == 0:
+                    return
+                merged_stamp[fresh] = cid
+                dist = _limited_min_dist(csr, universe[fresh], rho)
+                in_ball = dist <= tol
+                if allowed_mask is not None:
+                    in_ball &= allowed_mask
+                candidates = np.flatnonzero(in_ball)
+                new_nodes = candidates[node_stamp[candidates] != cid]
+                node_stamp[new_nodes] = cid
+                members_parts.append(new_nodes)
+                if mark and new_nodes.size:
+                    reach = _limited_min_dist(csr, new_nodes, rho)
+                    np.minimum(cluster_dist, reach, out=cluster_dist)
+
+            absorb(kernel, mark=True)
+            for _ in range(k + 1):
+                centers = universe[pending]
+                touch_hit = cluster_dist[centers] <= tol
+                touching = np.flatnonzero(pending)[touch_hit]
+                touch_set = np.union1d(touching, kernel)
+                if touch_set.size < growth * kernel.size:
+                    absorb(touch_set, mark=False)
+                    member_nodes = np.concatenate(members_parts) \
+                        if members_parts else np.zeros(0, dtype=np.int64)
+                    member_nodes = np.unique(member_nodes)
+                    kernel_globals = universe[kernel]
+                    clusters.append(Cluster(
+                        index=cid, center=int(universe[v]),
+                        nodes=set(member_nodes.tolist()),
+                        kernel_centers=set(kernel_globals.tolist())))
+                    for c in kernel_globals.tolist():
+                        home[c] = cid
+                    remaining[kernel] = False
+                    remaining_count -= kernel.size
+                    dropped = touch_set[pending[touch_set]]
+                    pending[dropped] = False
+                    pending_count -= dropped.size
+                    break
+                kernel = touch_set
+                absorb(touch_set, mark=True)
             else:  # pragma: no cover - the growth loop always breaks within k+1 rounds
                 raise RuntimeError("sparse cover growth loop failed to terminate")
 

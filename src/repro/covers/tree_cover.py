@@ -36,6 +36,16 @@ from repro.utils.validation import require
 #: clusters per block-diagonal kernel call
 CLUSTER_CHUNK = 64
 
+#: total relabeled rows per block-diagonal kernel call.  Chunking by
+#: cluster count alone breaks down at large scales, where every cluster
+#: spans (nearly) a whole component: 64 clusters of 100k nodes would
+#: assemble a 6.4M-row block matrix whose dense dist/pred result is
+#: several GB.  The node budget caps the in-flight slab at
+#: ~``sources × budget × 12`` bytes regardless of cluster sizes; chunk
+#: boundaries do not affect the trees (every block is independent), so
+#: the build-parity suite pins bit-identity across chunkings.
+CHUNK_NODE_BUDGET = 1 << 19
+
 
 @dataclass
 class TreeCover:
@@ -222,8 +232,19 @@ def _cluster_trees_batched(graph: WeightedGraph, cover: SparseCover,
             offset += members.size
         return out
 
-    chunks = [jobs[start:start + CLUSTER_CHUNK]
-              for start in range(0, len(jobs), CLUSTER_CHUNK)]
+    chunks = []
+    current: List[tuple] = []
+    current_nodes = 0
+    for job in jobs:
+        size = job[1].size
+        if current and (len(current) >= CLUSTER_CHUNK
+                        or current_nodes + size > CHUNK_NODE_BUDGET):
+            chunks.append(current)
+            current, current_nodes = [], 0
+        current.append(job)
+        current_nodes += size
+    if current:
+        chunks.append(current)
     mapper = context.map if context is not None else (
         lambda fn, items: [fn(item) for item in items])
     for part in mapper(run_chunk, chunks):

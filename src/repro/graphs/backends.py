@@ -275,6 +275,14 @@ class LazyDijkstraBackend(DistanceBackend):
     multi-source call, which is how streaming consumers (the decomposition's
     ball-size table, sparse-cover construction, batched pair evaluation) avoid
     per-row kernel overhead.
+
+    Rows falling out of the LRU are not discarded: they are **spilled** into
+    a :class:`repro.storage.SpilledRowStore` (memmap slots in
+    ``REPRO_SPILL_DIR``), so a re-touched cold row is a page-cache read
+    instead of a fresh Dijkstra.  ``REPRO_ROW_SPILL=0`` disables the store
+    and restores the pure-eviction behavior; ``REPRO_ROW_SPILL_BYTES`` caps
+    its footprint.  Spilled rows are cleared together with the RAM cache on
+    graph mutation, so a stale row can never be served.
     """
 
     name = "lazy"
@@ -284,31 +292,62 @@ class LazyDijkstraBackend(DistanceBackend):
         super().__init__(graph)
         require(cache_rows >= 1, "cache_rows must be >= 1")
         require(chunk_rows >= 1, "chunk_rows must be >= 1")
+        from repro.storage import row_spill_enabled
+
         self.cache_rows = int(cache_rows)
         self.chunk_rows = int(chunk_rows)
         self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._orders: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._spill_enabled = row_spill_enabled()
+        self._spill = None  # created on first eviction
         # one backend may be shared by run_matrix(parallel=) worker threads;
         # every LRU read-modify (get + move_to_end) must be atomic
         self._lock = threading.RLock()
         #: diagnostic counters
         self.hits = 0
         self.misses = 0
+        self.row_spills = 0
+        self.row_restores = 0
 
     def invalidate(self) -> None:
         with self._lock:
             super().invalidate()
             self._rows.clear()
             self._orders.clear()
+            if self._spill is not None:
+                self._spill.clear()
 
     # -- cache plumbing -------------------------------------------------- #
+    def _spill_store(self):
+        if self._spill is None and self._spill_enabled:
+            from repro.storage import SpilledRowStore
+
+            self._spill = SpilledRowStore(self.n)
+        return self._spill
+
+    def _restore(self, u: int) -> Optional[np.ndarray]:
+        """Bring a previously spilled row back into the LRU, if stored."""
+        with self._lock:
+            if self._spill is None:
+                return None
+            row = self._spill.get(u)
+            if row is None:
+                return None
+            self.row_restores += 1
+            self._insert(u, row)
+            return row
+
     def _insert(self, u: int, row: np.ndarray) -> None:
         with self._lock:
             self._rows[u] = row
             self._rows.move_to_end(u)
             while len(self._rows) > self.cache_rows:
-                evicted, _ = self._rows.popitem(last=False)
+                evicted, evicted_row = self._rows.popitem(last=False)
                 self._orders.pop(evicted, None)
+                store = self._spill_store()
+                if store is not None:
+                    store.put(evicted, evicted_row)
+                    self.row_spills += 1
 
     def _compute(self, sources: List[int]) -> np.ndarray:
         from repro.graphs.shortest_paths import multi_source_distances
@@ -327,6 +366,8 @@ class LazyDijkstraBackend(DistanceBackend):
         check_index(u, self.n, "u")
         self._sync()
         cached = self._cached_row(u)
+        if cached is None:
+            cached = self._restore(u)
         if cached is not None:
             return cached
         self.misses += 1
@@ -344,6 +385,8 @@ class LazyDijkstraBackend(DistanceBackend):
         missing: List[int] = []
         for s, idxs in positions.items():
             cached = self._cached_row(s)
+            if cached is None:
+                cached = self._restore(s)
             if cached is not None:
                 out[idxs] = cached
             else:
@@ -379,6 +422,7 @@ class LazyDijkstraBackend(DistanceBackend):
         with self._lock:
             missing = sorted({int(s) for s in sources if int(s) not in self._rows})
         missing = missing[:self.cache_rows]
+        missing = [s for s in missing if self._restore(s) is None]
         if not missing:
             return
         self.misses += len(missing)
@@ -406,24 +450,71 @@ class LazyDijkstraBackend(DistanceBackend):
         return order
 
     def _compute_stats(self) -> DistanceStats:
-        # One streaming pass over all sources: APSP-equivalent compute, but
-        # only scalar state is retained (the rows are not cached to avoid
-        # churning the LRU).
+        # Exact stats without the historical full n-row sweep (55 minutes at
+        # n=100k on one core):
+        #
+        # * the minimum positive distance IS the minimum edge weight — every
+        #   positive distance is a sum of >= 1 positive weights >= w_min, and
+        #   the w_min edge itself is a shortest path (a two-edge path already
+        #   costs >= 2 w_min), finalized by Dijkstra as the literal weight;
+        # * the diameter comes from eccentricity-bounds pruning (Takes &
+        #   Kosters): process the node with the largest eccentricity upper
+        #   bound, tighten ecc(v) <= ecc(u) + d(u, v) from its exact row, and
+        #   drop every node whose bound can no longer beat the best
+        #   eccentricity seen.  Tens of rows on small-world graphs, never
+        #   worse than the old full sweep.
+        min_weight = self.graph.min_weight()
+        if not np.isfinite(min_weight) or min_weight <= 0:
+            # edgeless graph: all distances are 0 or inf; the paper
+            # normalizes d_min to 1 (mirrors the dense fallback)
+            return DistanceStats(diameter=0.0, min_positive=1.0)
+        return DistanceStats(diameter=self._exact_diameter(),
+                             min_positive=float(min_weight))
+
+    def _exact_diameter(self) -> float:
+        n = self.n
+        upper = np.full(n, np.inf)
+        active = np.ones(n, dtype=bool)
         diameter = 0.0
-        min_positive = float("inf")
-        for start in range(0, self.n, self.chunk_rows):
-            chunk = list(range(start, min(start + self.chunk_rows, self.n)))
-            part = _row_stats(self._compute(chunk))
-            diameter = max(diameter, part.diameter)
-            min_positive = min(min_positive, part.min_positive)
-        if not np.isfinite(min_positive):
-            min_positive = 1.0  # edgeless graph: mirror the dense fallback
-        return DistanceStats(diameter=diameter, min_positive=min_positive)
+        first = True
+        while True:
+            candidates = np.flatnonzero(active)
+            if candidates.size == 0:
+                return diameter
+            if first:
+                # a high-degree node tends to be central: its small
+                # eccentricity gives tight first bounds for everyone
+                u = max(range(n), key=self.graph.degree)
+                first = False
+            else:
+                u = int(candidates[np.argmax(upper[candidates])])
+            row = self._compute([u])[0]
+            finite = np.isfinite(row)
+            ecc = float(row[finite].max()) if finite.any() else 0.0
+            diameter = max(diameter, ecc)
+            # one-ulp inflation: fl(ecc + d) may round below the real sum,
+            # and an under-rounded bound could prune a true endpoint of the
+            # diameter
+            bound = np.nextafter(ecc + row[finite], np.inf)
+            upper[finite] = np.minimum(upper[finite], bound)
+            active[u] = False
+            active &= upper > diameter
 
     def nbytes(self) -> int:
         total = sum(r.nbytes for r in self._rows.values())
         total += sum(o.nbytes for o in self._orders.values())
         return int(total)
+
+    def row_cache_report(self) -> Dict[str, object]:
+        """Hit/miss/spill counters plus the spill store's own report."""
+        report: Dict[str, object] = {
+            "hits": int(self.hits), "misses": int(self.misses),
+            "row_spills": int(self.row_spills),
+            "row_restores": int(self.row_restores),
+        }
+        report["spill"] = (self._spill.report() if self._spill is not None
+                           else None)
+        return report
 
 
 class LandmarkApproxBackend(DistanceBackend):

@@ -2,15 +2,22 @@
 
 from repro.storage.memmap import (SPILL_MIN_BYTES, alloc_array, is_memmap,
                                   memory_budget, persist_array,
-                                  reset_accounting, spill_dir, storage_report)
+                                  reset_accounting, spill_array, spill_dir,
+                                  storage_report)
+from repro.storage.rowstore import (SpilledRowStore, row_spill_budget,
+                                    row_spill_enabled)
 
 __all__ = [
     "SPILL_MIN_BYTES",
+    "SpilledRowStore",
     "alloc_array",
     "is_memmap",
     "memory_budget",
     "persist_array",
     "reset_accounting",
+    "row_spill_budget",
+    "row_spill_enabled",
+    "spill_array",
     "spill_dir",
     "storage_report",
 ]

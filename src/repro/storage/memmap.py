@@ -47,6 +47,8 @@ _lock = threading.Lock()
 _ram_bytes = 0        # budgeted bytes currently alive in RAM
 _spilled_bytes = 0    # cumulative bytes handed out as memmaps
 _spill_count = 0      # number of spilled allocations
+_spill_live_bytes = 0   # spilled bytes currently alive (mapped)
+_spill_high_water = 0   # max of _spill_live_bytes over the process life
 
 
 def memory_budget() -> Optional[int]:
@@ -112,6 +114,23 @@ def _should_spill(nbytes: int) -> bool:
     return over
 
 
+def _release_spill(nbytes: int) -> None:
+    global _spill_live_bytes
+    with _lock:
+        _spill_live_bytes -= nbytes
+
+
+def _charge_spill(array: np.memmap) -> np.memmap:
+    """Track live spill bytes (and the high-water mark) until collection."""
+    global _spill_live_bytes, _spill_high_water
+    nbytes = int(array.nbytes)
+    with _lock:
+        _spill_live_bytes += nbytes
+        _spill_high_water = max(_spill_high_water, _spill_live_bytes)
+    weakref.finalize(array, _release_spill, nbytes)
+    return array
+
+
 def _new_memmap(shape: Tuple[int, ...], dtype: np.dtype) -> np.memmap:
     """A fresh anonymous-lifetime memmap (file unlinked once mapped)."""
     fd, path = tempfile.mkstemp(prefix="repro-spill-", suffix=".mm",
@@ -139,7 +158,7 @@ def alloc_array(shape: Union[int, Tuple[int, ...]], dtype,
     dtype = np.dtype(dtype)
     nbytes = int(np.prod(np.asarray(shape, dtype=np.int64))) * dtype.itemsize
     if _should_spill(nbytes):
-        out: np.ndarray = _new_memmap(shape, dtype)
+        out: np.ndarray = _charge_spill(_new_memmap(shape, dtype))
         if fill is not None and fill != 0:
             out[...] = fill
         return out
@@ -163,9 +182,31 @@ def persist_array(array: np.ndarray) -> np.ndarray:
         if array.nbytes >= SPILL_MIN_BYTES and array.base is None:
             _charge_ram(array)
         return array
-    out = _new_memmap(array.shape, array.dtype)
+    out = _charge_spill(_new_memmap(array.shape, array.dtype))
     out[...] = array
     return out
+
+
+def spill_array(shape: Union[int, Tuple[int, ...]], dtype) -> np.ndarray:
+    """Allocate a memmap-backed array unconditionally (budget ignored).
+
+    For consumers that *know* their data is cold — the lazy backend's row
+    spill store keeps evicted Dijkstra rows here so re-touched rows come
+    back as a page-cache read instead of a fresh graph search.  Contents
+    start zeroed (fresh file pages); the allocation is counted in the spill
+    accounting and the high-water mark like any budget-driven spill.
+    """
+    global _spilled_bytes, _spill_count
+    if np.isscalar(shape):
+        shape = (int(shape),)
+    else:
+        shape = tuple(int(s) for s in shape)
+    dtype = np.dtype(dtype)
+    nbytes = int(np.prod(np.asarray(shape, dtype=np.int64))) * dtype.itemsize
+    with _lock:
+        _spilled_bytes += nbytes
+        _spill_count += 1
+    return _charge_spill(_new_memmap(shape, dtype))
 
 
 def storage_report() -> Dict[str, object]:
@@ -176,13 +217,18 @@ def storage_report() -> Dict[str, object]:
             "budgeted_ram_bytes": int(_ram_bytes),
             "spilled_bytes": int(_spilled_bytes),
             "spill_count": int(_spill_count),
+            "spill_live_bytes": int(_spill_live_bytes),
+            "spill_high_water_bytes": int(_spill_high_water),
         }
 
 
 def reset_accounting() -> None:
     """Testing hook: zero the counters (live finalizers may go negative)."""
     global _ram_bytes, _spilled_bytes, _spill_count
+    global _spill_live_bytes, _spill_high_water
     with _lock:
         _ram_bytes = 0
         _spilled_bytes = 0
         _spill_count = 0
+        _spill_live_bytes = 0
+        _spill_high_water = 0

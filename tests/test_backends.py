@@ -468,3 +468,32 @@ class TestLandmarkRowsCertificate:
             est_row = oracle.row(s)
             mask = np.isfinite(true_row)
             assert np.all(est_row[mask] >= true_row[mask] - 1e-9)
+
+
+class TestLazyStatsFastPath:
+    """The lazy backend's pruned eccentricity-bound diameter is *exact*.
+
+    The dense backend computes the diameter from the full matrix; the lazy
+    backend now prunes nodes whose eccentricity upper bound cannot beat the
+    running maximum.  Pruning is a search-order optimization, not an
+    approximation — the two must agree to the last bit, and the minimum
+    positive distance must be the literal smallest edge weight.
+    """
+
+    @pytest.mark.parametrize("index,graph",
+                             list(enumerate(parity_graphs())))
+    def test_diameter_bitwise_equal_to_dense(self, index, graph):
+        dense = DistanceOracle(graph, backend="dense")
+        lazy = DistanceOracle(graph,
+                              backend=LazyDijkstraBackend(graph, cache_rows=4))
+        assert lazy.diameter() == dense.diameter()
+        assert lazy.min_positive_distance() == dense.min_positive_distance()
+        assert lazy.min_positive_distance() == graph.min_weight()
+
+    def test_edgeless_graph_stats(self):
+        graph = WeightedGraph(4, [], seed=1)
+        lazy = DistanceOracle(graph,
+                              backend=LazyDijkstraBackend(graph, cache_rows=4))
+        dense = DistanceOracle(graph, backend="dense")
+        assert lazy.diameter() == dense.diameter() == 0.0
+        assert lazy.min_positive_distance() == dense.min_positive_distance()

@@ -70,6 +70,58 @@ class TestSparseCover:
         with pytest.raises(Exception):
             build_sparse_cover(g, 2, 0.0, oracle=oracle)
 
+    def test_unknown_cover_mode_rejected(self, grid_and_oracle, monkeypatch):
+        g, oracle = grid_and_oracle
+        monkeypatch.setenv("REPRO_COVER_MODE", "bogus")
+        with pytest.raises(Exception, match="REPRO_COVER_MODE"):
+            build_sparse_cover(g, K, 1.0, oracle=oracle)
+
+
+class TestCoverModeParity:
+    """csr ≡ regions ≡ scalar, decision for decision.
+
+    The region-growing coarsening replaces per-node ball rows with
+    multi-source limited Dijkstra layers; it must reproduce the CSR
+    (row-streaming) mode's clusters, homes and phases exactly, which in
+    turn must match the scalar reference — across families, k, radii and
+    node subsets.  ``auto`` must resolve to one of the two.
+    """
+
+    def _canonical(self, cover):
+        clusters = sorted((sorted(c.nodes), c.center,
+                           sorted(c.kernel_centers)) for c in cover.clusters)
+        return clusters, dict(cover.home)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("radius", [0.5, 1.0, 2.5, 6.0])
+    def test_modes_bit_identical(self, monkeypatch, k, radius):
+        for graph in (grid_graph(6, 6, weights="unit", seed=1),
+                      erdos_renyi_graph(60, seed=9),
+                      path_graph(40, seed=4)):
+            oracle = DistanceOracle(graph)
+            outs = {}
+            for mode in ("csr", "regions"):
+                monkeypatch.setenv("REPRO_COVER_MODE", mode)
+                outs[mode] = self._canonical(
+                    build_sparse_cover(graph, k, radius, oracle=oracle))
+            monkeypatch.setenv("REPRO_BUILD_MODE", "scalar")
+            monkeypatch.delenv("REPRO_COVER_MODE", raising=False)
+            outs["scalar"] = self._canonical(
+                build_sparse_cover(graph, k, radius, oracle=oracle))
+            monkeypatch.delenv("REPRO_BUILD_MODE", raising=False)
+            assert outs["csr"] == outs["regions"] == outs["scalar"]
+
+    def test_subset_universe_parity(self, monkeypatch):
+        graph = erdos_renyi_graph(70, seed=12)
+        oracle = DistanceOracle(graph)
+        subset = list(range(0, graph.n, 3))
+        outs = {}
+        for mode in ("csr", "regions"):
+            monkeypatch.setenv("REPRO_COVER_MODE", mode)
+            outs[mode] = self._canonical(
+                build_sparse_cover(graph, 2, 2.0, oracle=oracle, nodes=subset))
+        assert outs["csr"] == outs["regions"]
+
 
 class TestTreeCover:
     def test_cover_property_for_home_trees(self, grid_and_oracle, rho):

@@ -9,7 +9,8 @@ import gc
 import numpy as np
 import pytest
 
-from repro.factory import build_scheme
+from repro.factory import SCHEME_NAMES, build_scheme
+from repro.graphs.backends import LazyDijkstraBackend
 from repro.graphs.generators import barabasi_albert_graph
 from repro.graphs.shortest_paths import DistanceOracle
 from repro.storage import (
@@ -158,6 +159,31 @@ class TestMemmapRamParity:
         for key in ("stretch", "hops", "found", "finite"):
             np.testing.assert_array_equal(ram_exact[key], mm_exact[key])
 
+    def test_row_store_put_get_discard_and_recycle(self):
+        from repro.storage import SpilledRowStore
+        from repro.storage.rowstore import EXTENT_ROWS
+
+        # byte cap of one row still floors the capacity at one extent
+        store = SpilledRowStore(row_length=8, max_bytes=8 * 8)
+        assert store.capacity_rows == EXTENT_ROWS
+        rows = {u: np.random.default_rng(u).random(8)
+                for u in range(EXTENT_ROWS + 40)}
+        for u, row in rows.items():
+            store.put(u, row)
+        # the cap was hit, so the 40 oldest rows were recycled (LRU order)
+        assert len(store) == EXTENT_ROWS
+        assert store.recycles == 40
+        assert all(u not in store for u in range(40))
+        for u in (40, 100, len(rows) - 1):
+            got = store.get(u)
+            np.testing.assert_array_equal(got, rows[u])
+            got[0] = -1.0                       # copies: no write-through
+            np.testing.assert_array_equal(store.get(u), rows[u])
+        store.discard(40)
+        assert 40 not in store
+        store.clear()
+        assert len(store) == 0 and store.report()["extent_bytes"] == 0
+
     def test_forked_workers_share_spilled_tables(self, monkeypatch,
                                                  parity_graph):
         # memmap pages are inherited across fork; the SharedArena must skip
@@ -173,3 +199,66 @@ class TestMemmapRamParity:
                              shards=2, processes=2, oracle=oracle)
         assert forked.processes
         assert inline.summary() == forked.summary()
+
+
+class TestRowSpillParity:
+    """The spillable row cache is observationally invisible.
+
+    A lazy backend whose LRU is far too small for the working set spills
+    evicted rows and restores them on the next touch; walks and official
+    statistics must match a backend with an ample RAM cache bit for bit,
+    for every scheme.  (Mirrors :class:`TestMemmapRamParity`, which covers
+    the *build-array* spill path; this class covers the *row-cache* one.)
+    """
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return barabasi_albert_graph(240, seed=21)
+
+    def _outputs(self, graph, scheme_name, cache_rows):
+        backend = LazyDijkstraBackend(graph, cache_rows=cache_rows)
+        oracle = DistanceOracle(graph, backend=backend)
+        scheme = build_scheme(scheme_name, graph, k=2, seed=5, oracle=oracle)
+        model = make_traffic_model("zipf", graph, seed=9, support=48)
+        report = run_traffic(scheme, model, 4000, batch_size=512,
+                             oracle=oracle)
+        exact = run_traffic_exact(scheme, model, 1024, batch_size=512,
+                                  oracle=oracle)
+        return report, exact, backend
+
+    @pytest.mark.parametrize("scheme_name", list(SCHEME_NAMES))
+    def test_walks_and_stats_bit_identical(self, monkeypatch, scheme_name,
+                                           graph):
+        monkeypatch.setenv("REPRO_ROW_SPILL", "1")
+        ram_report, ram_exact, _ = self._outputs(graph, scheme_name,
+                                                 cache_rows=graph.n + 8)
+        spill_report, spill_exact, backend = self._outputs(graph, scheme_name,
+                                                           cache_rows=8)
+        assert backend.row_spills > 0, \
+            "tiny cache produced no spills; parity test is vacuous"
+        assert backend.row_restores > 0, \
+            "no spilled row was ever restored; parity test is vacuous"
+        assert ram_report.summary() == spill_report.summary()
+        for key in ("stretch", "hops", "found", "finite"):
+            np.testing.assert_array_equal(ram_exact[key], spill_exact[key])
+
+    def test_disabled_store_never_spills(self, monkeypatch, graph):
+        monkeypatch.setenv("REPRO_ROW_SPILL", "0")
+        report, _, backend = self._outputs(graph, "cowen", cache_rows=8)
+        assert backend.row_spills == 0 and backend.row_restores == 0
+        assert backend.row_cache_report()["spill"] is None
+
+    def test_spilled_rows_invalidate_on_graph_version_bump(self):
+        graph = barabasi_albert_graph(160, seed=33)
+        backend = LazyDijkstraBackend(graph, cache_rows=4)
+        before = {u: np.array(backend.row(u)) for u in range(24)}
+        assert backend.row_spills > 0      # 24 touches through a 4-row LRU
+        # drop a shortcut edge that changes many shortest paths
+        far = int(np.argmax(before[0]))
+        graph.add_edge(0, far, graph.min_weight() / 4.0)
+        reference = LazyDijkstraBackend(graph, cache_rows=4)
+        for u in range(24):
+            np.testing.assert_array_equal(backend.row(u), reference.row(u))
+        changed = any(
+            not np.array_equal(before[u], backend.row(u)) for u in range(24))
+        assert changed, "edge insertion changed no distances; test is vacuous"
