@@ -16,17 +16,21 @@ This ablation sweeps both constants around the paper's values and measures
 stretch, table size and how often the safety fallback fires, demonstrating
 that the published constants sit in the sane region (correctness never
 degrades, stretch moves modestly).
+
+The body lives in :func:`repro.experiments.matrix.kinds.run_ablation`
+(kind ``"ablation"``, config ``configs/e12_ablation.json``); this module is
+the historical entry point kept as a shim.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.params import AGMParams
-from repro.experiments.harness import ExperimentResult, evaluate_scheme_on_graph
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import run_ablation
 from repro.experiments.reporting import format_table
-from repro.experiments.workloads import standard_suite
-from repro.graphs.shortest_paths import DistanceOracle
+
+__all__ = ["run", "main"]
 
 
 def run(quick: bool = True, seed: int = 0, k: int = 2,
@@ -34,33 +38,14 @@ def run(quick: bool = True, seed: int = 0, k: int = 2,
         sparse_shrinks: Optional[Sequence[float]] = None,
         num_pairs: Optional[int] = None) -> ExperimentResult:
     """Run E12 and return one row per (dense_gap, sparse_shrink) setting."""
-    dense_gaps = list(dense_gaps) if dense_gaps is not None else [1, 3, 5]
-    sparse_shrinks = list(sparse_shrinks) if sparse_shrinks is not None else [3.0, 6.0, 12.0]
-    num_pairs = num_pairs or (40 if quick else 200)
-    spec = standard_suite(quick)[0]
-    graph = spec.build(quick=quick)
-    oracle = DistanceOracle(graph)
-    result = ExperimentResult(name="E12-ablation")
-    for gap in dense_gaps:
-        for shrink in sparse_shrinks:
-            params = AGMParams.experiment().with_overrides(dense_gap=gap,
-                                                           sparse_shrink=shrink)
-            row = evaluate_scheme_on_graph("agm", graph, k, num_pairs=num_pairs,
-                                           seed=seed, oracle=oracle,
-                                           scheme_kwargs={"params": params})
-            row["dense_gap"] = gap
-            row["sparse_shrink"] = shrink
-            row["graph"] = spec.name
-            result.add_row(**row)
-    return result
+    return run_ablation(quick=quick, seed=seed, k=k, dense_gaps=dense_gaps,
+                        sparse_shrinks=sparse_shrinks, num_pairs=num_pairs)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
     result = run(quick=quick)
     print(format_table(
-        result.rows,
-        columns=["dense_gap", "sparse_shrink", "max_stretch", "avg_stretch",
-                 "max_table_bits", "failures", "fallback_uses"],
+        result.rows, columns=result.metadata["columns"],
         title="E12: ablation of the dense-gap and sparse-shrink constants"))
 
 

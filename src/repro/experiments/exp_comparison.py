@@ -8,48 +8,38 @@ topology-dependent addresses; among the name-independent schemes, the
 hierarchical Awerbuch–Peleg approach matches AGM's stretch but not its
 scale-freedom, and the older random-sampling schemes pay a much larger
 stretch at comparable space.
+
+The body lives in :func:`repro.experiments.matrix.kinds.run_comparison`
+(kind ``"comparison"``); this module is the historical entry point, kept as
+a shim so benches and tests share the config-driven code path.  The
+committed config ``configs/e2_comparison.json`` reproduces this table
+through the matrix runner bit for bit (asserted by
+``tests/test_experiment_matrix.py``).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.params import AGMParams
-from repro.experiments.harness import ExperimentResult, run_matrix
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import ALL_SCHEMES, run_comparison
 from repro.experiments.reporting import format_table
-from repro.experiments.workloads import standard_suite
 
-ALL_SCHEMES = ["shortest-path", "cowen", "thorup-zwick", "awerbuch-peleg",
-               "exponential", "agm"]
+__all__ = ["ALL_SCHEMES", "run", "main"]
 
 
 def run(quick: bool = True, seed: int = 0, k: int = 3,
         schemes: Optional[Sequence[str]] = None,
         num_pairs: Optional[int] = None) -> ExperimentResult:
     """Run E2 and return its result table."""
-    schemes = list(schemes) if schemes is not None else list(ALL_SCHEMES)
-    num_pairs = num_pairs or (60 if quick else 300)
-    suite = standard_suite(quick)[:2] if quick else standard_suite(quick)
-    graphs = [(spec.name, spec.build(quick=quick)) for spec in suite]
-    result = run_matrix(
-        "E2-scheme-comparison",
-        schemes=schemes,
-        graphs=graphs,
-        ks=[k],
-        num_pairs=num_pairs,
-        seed=seed,
-        scheme_kwargs={"agm": {"params": AGMParams.experiment()}},
-    )
-    return result
+    return run_comparison(quick=quick, seed=seed, k=k, schemes=schemes,
+                          num_pairs=num_pairs)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
     result = run(quick=quick)
-    print(format_table(
-        result.rows,
-        columns=["graph", "scheme", "k", "max_stretch", "avg_stretch",
-                 "max_table_bits", "avg_table_bits", "max_label_bits", "failures"],
-        title="E2: scheme comparison (Section 1.3)"))
+    print(format_table(result.rows, columns=result.metadata["columns"],
+                       title="E2: scheme comparison (Section 1.3)"))
 
 
 if __name__ == "__main__":  # pragma: no cover

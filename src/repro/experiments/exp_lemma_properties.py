@@ -13,77 +13,33 @@ graphs:
 The result rows report the number of (u, i, v) triples checked and how many
 violated the containment (expected: zero for Lemma 2, which is deterministic,
 and zero or a tiny w.h.p. failure count for Lemma 3 / the claims).
+
+The body (and the ``check_lemma2`` / ``check_lemma3`` counters, re-exported
+here) lives in :mod:`repro.experiments.matrix.kinds` (kind
+``"lemma-properties"``, config ``configs/e5_lemma_properties.json``); this
+module is the historical entry point kept as a shim.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.decomposition import NeighborhoodDecomposition
-from repro.core.landmarks import LandmarkHierarchy
 from repro.core.params import AGMParams
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import (  # noqa: F401 - re-exports
+    check_lemma2,
+    check_lemma3,
+    run_lemma_properties,
+)
 from repro.experiments.reporting import format_table
-from repro.experiments.workloads import standard_suite
-from repro.graphs.shortest_paths import DistanceOracle
 
-
-def check_lemma2(decomposition: NeighborhoodDecomposition) -> dict:
-    """Count (u, i, v) triples violating Lemma 2."""
-    checked = 0
-    violations = 0
-    for u in range(decomposition.n):
-        for i in range(decomposition.k + 1):
-            if not decomposition.is_dense(u, i):
-                continue
-            a_ui = decomposition.range(u, i)
-            for v in decomposition.f_ball(u, i):
-                checked += 1
-                if a_ui not in decomposition.extended_range_set(v):
-                    violations += 1
-    return {"checked": checked, "violations": violations}
-
-
-def check_lemma3(decomposition: NeighborhoodDecomposition,
-                 landmarks: LandmarkHierarchy) -> dict:
-    """Count (u, i, v) triples violating Lemma 3."""
-    checked = 0
-    violations = 0
-    for u in range(decomposition.n):
-        for i in range(decomposition.k + 1):
-            if decomposition.is_dense(u, i):
-                continue
-            center = landmarks.center(u, i)
-            for v in decomposition.e_ball(u, i):
-                checked += 1
-                if center not in landmarks.nearby_union(v):
-                    violations += 1
-    return {"checked": checked, "violations": violations}
+__all__ = ["run", "main", "check_lemma2", "check_lemma3"]
 
 
 def run(quick: bool = True, seed: int = 0, k: int = 3,
         params: Optional[AGMParams] = None) -> ExperimentResult:
     """Run E5/E6 and return the per-graph violation counts."""
-    params = params or AGMParams.paper()
-    suite = standard_suite(quick)[:2] if quick else standard_suite(quick)
-    result = ExperimentResult(name="E5-E6-lemma-properties")
-    for spec in suite:
-        graph = spec.build(quick=quick)
-        oracle = DistanceOracle(graph)
-        decomposition = NeighborhoodDecomposition(graph, k, oracle=oracle, params=params)
-        landmarks = LandmarkHierarchy(graph, k, oracle=oracle,
-                                      decomposition=decomposition, params=params,
-                                      seed=seed)
-        lemma2 = check_lemma2(decomposition)
-        lemma3 = check_lemma3(decomposition, landmarks)
-        claims = landmarks.verify_claims(sample_nodes=range(0, graph.n, max(graph.n // 16, 1)))
-        result.add_row(
-            graph=spec.name, n=graph.n, k=k,
-            lemma2_checked=lemma2["checked"], lemma2_violations=lemma2["violations"],
-            lemma3_checked=lemma3["checked"], lemma3_violations=lemma3["violations"],
-            claim1_holds=claims["claim1"], claim2_holds=claims["claim2"],
-        )
-    return result
+    return run_lemma_properties(quick=quick, seed=seed, k=k, params=params)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience

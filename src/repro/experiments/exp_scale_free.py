@@ -6,48 +6,35 @@ storage never depends on Δ), while the Awerbuch–Peleg-style hierarchical
 scheme grows roughly linearly in ``log Δ`` because it keeps one cover per
 scale.  This is the abstract's headline property ("storage and header sizes
 are independent of the aspect ratio").
+
+The body lives in :func:`repro.experiments.matrix.kinds.run_scale_free`
+(kind ``"scale-free"``, config ``configs/e3_scale_free.json``); this module
+is the historical entry point kept as a shim.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.core.params import AGMParams
-from repro.experiments.harness import ExperimentResult, evaluate_scheme_on_graph
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import run_scale_free
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.workloads import aspect_ratio_suite
-from repro.graphs.metrics import aspect_ratio
-from repro.graphs.shortest_paths import DistanceOracle
+
+__all__ = ["run", "main"]
 
 
 def run(quick: bool = True, seed: int = 0, k: int = 2,
         deltas: Optional[Sequence[float]] = None,
         num_pairs: Optional[int] = None) -> ExperimentResult:
     """Run E3 and return its result table."""
-    if deltas is None:
-        deltas = [1e2, 1e4, 1e6] if quick else [1e2, 1e4, 1e6, 1e9, 1e12]
-    n = 48 if quick else 96
-    num_pairs = num_pairs or (40 if quick else 200)
-    result = ExperimentResult(name="E3-scale-free")
-    for target_delta, graph in aspect_ratio_suite(list(deltas), n=n, seed=seed + 21):
-        oracle = DistanceOracle(graph)
-        measured_delta = oracle.aspect_ratio()
-        for scheme in ("agm", "awerbuch-peleg"):
-            kwargs = {"params": AGMParams.experiment()} if scheme == "agm" else {}
-            row = evaluate_scheme_on_graph(scheme, graph, k, num_pairs=num_pairs,
-                                           seed=seed, oracle=oracle, scheme_kwargs=kwargs)
-            row["target_delta"] = target_delta
-            row["measured_delta"] = measured_delta
-            result.add_row(**row)
-    return result
+    return run_scale_free(quick=quick, seed=seed, k=k, deltas=deltas,
+                          num_pairs=num_pairs)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
     result = run(quick=quick)
     print(format_table(
-        result.rows,
-        columns=["scheme", "target_delta", "measured_delta", "max_table_bits",
-                 "avg_table_bits", "max_stretch", "failures"],
+        result.rows, columns=result.metadata["columns"],
         title="E3: table size vs aspect ratio (scale-free claim)"))
     for scheme in ("agm", "awerbuch-peleg"):
         rows = result.filter(scheme=scheme)

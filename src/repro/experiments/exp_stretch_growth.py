@@ -5,47 +5,33 @@ optimal O(k)".  This experiment sweeps k and reports the measured maximum and
 average stretch of the AGM scheme next to the random-sampling baseline that
 represents the prior scale-free family, plus the successive growth ratios
 (a linear curve has ratios tending to 1, an exponential one stays near 2).
+
+The body lives in :func:`repro.experiments.matrix.kinds.run_stretch_growth`
+(kind ``"stretch-growth"``, config ``configs/e4_stretch_growth.json``); this
+module is the historical entry point kept as a shim.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.analysis import growth_ratio
-from repro.core.params import AGMParams
-from repro.experiments.harness import ExperimentResult, run_matrix
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import run_stretch_growth
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.workloads import standard_suite
+
+__all__ = ["run", "main"]
 
 
 def run(quick: bool = True, seed: int = 0, ks: Optional[Sequence[int]] = None,
         num_pairs: Optional[int] = None) -> ExperimentResult:
     """Run E4 and return its result table."""
-    ks = list(ks) if ks is not None else ([1, 2, 3] if quick else [1, 2, 3, 4, 5, 6])
-    num_pairs = num_pairs or (50 if quick else 250)
-    spec = standard_suite(quick)[0]
-    graphs = [(spec.name, spec.build(quick=quick))]
-    result = run_matrix(
-        "E4-stretch-growth",
-        schemes=["agm", "exponential"],
-        graphs=graphs,
-        ks=ks,
-        num_pairs=num_pairs,
-        seed=seed,
-        scheme_kwargs={"agm": {"params": AGMParams.experiment()}},
-    )
-    for scheme in ("agm", "exponential"):
-        rows = sorted(result.filter(scheme=scheme), key=lambda r: r["k"])
-        ratios = growth_ratio([float(r["avg_stretch"]) for r in rows])
-        result.metadata[f"{scheme}_avg_stretch_growth_ratios"] = ratios
-    return result
+    return run_stretch_growth(quick=quick, seed=seed, ks=ks, num_pairs=num_pairs)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
     result = run(quick=quick)
     print(format_table(
-        result.rows,
-        columns=["scheme", "k", "max_stretch", "avg_stretch", "max_table_bits", "failures"],
+        result.rows, columns=result.metadata["columns"],
         title="E4: stretch vs k (AGM linear vs prior exponential family)"))
     for scheme in ("agm", "exponential"):
         rows = sorted(result.filter(scheme=scheme), key=lambda r: r["k"])

@@ -4,50 +4,33 @@ For k = 1..K the AGM scheme is built on each workload graph; the bench
 reports, per (graph, k): measured max/avg stretch, max table bits, and the
 theoretical references ``O(k)`` stretch and ``k^2 n^{1/k} log^3 n`` /
 ``k^2 n^{3/k} log^3 n`` space so the shape can be compared.
+
+The body lives in :func:`repro.experiments.matrix.kinds.run_tradeoff`
+(kind ``"tradeoff"``, config ``configs/e1_tradeoff.json``); this module is
+the historical entry point kept as a shim.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.analysis import lemma11_table_bits, theorem1_table_bits
-from repro.core.params import AGMParams
-from repro.experiments.harness import ExperimentResult, run_matrix
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import run_tradeoff
 from repro.experiments.reporting import format_table
-from repro.experiments.workloads import standard_suite
+
+__all__ = ["run", "main"]
 
 
 def run(quick: bool = True, seed: int = 0, ks: Optional[Sequence[int]] = None,
         num_pairs: Optional[int] = None) -> ExperimentResult:
     """Run E1 and return its result table."""
-    ks = list(ks) if ks is not None else ([1, 2, 3] if quick else [1, 2, 3, 4, 5])
-    num_pairs = num_pairs or (60 if quick else 300)
-    graphs = [(spec.name, spec.build(quick=quick)) for spec in standard_suite(quick)]
-    params = AGMParams.experiment()
-    result = run_matrix(
-        "E1-theorem1-tradeoff",
-        schemes=["agm"],
-        graphs=graphs,
-        ks=ks,
-        num_pairs=num_pairs,
-        seed=seed,
-        scheme_kwargs={"agm": {"params": params}},
-    )
-    for row in result.rows:
-        n, k = int(row["n"]), int(row["k"])
-        row["stretch_bound_O(k)"] = 8 * k + 4
-        row["bits_bound_thm1"] = theorem1_table_bits(n, k)
-        row["bits_bound_lemma11"] = lemma11_table_bits(n, k)
-    result.metadata["params"] = "AGMParams.experiment()"
-    return result
+    return run_tradeoff(quick=quick, seed=seed, ks=ks, num_pairs=num_pairs)
 
 
 def main(quick: bool = True) -> None:  # pragma: no cover - CLI convenience
     result = run(quick=quick)
     print(format_table(
-        result.rows,
-        columns=["graph", "n", "k", "max_stretch", "avg_stretch", "stretch_bound_O(k)",
-                 "max_table_bits", "bits_bound_thm1", "failures", "fallback_uses"],
+        result.rows, columns=result.metadata["columns"],
         title="E1: Theorem 1 space-stretch trade-off (AGM scheme)"))
 
 

@@ -369,6 +369,7 @@ def run_live_matrix(
     seed: int = 0,
     scheme_kwargs: Optional[Dict[str, dict]] = None,
     model_kwargs: Optional[dict] = None,
+    scenario_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
     engine: str = "lockstep",
     processes: Optional[bool] = None,
@@ -383,7 +384,8 @@ def run_live_matrix(
     The live sibling of :func:`run_traffic_matrix`: each scheme gets its own
     fresh copy of the graph (``graph_factory()`` — churn mutates it in
     place), its own fresh scenario instance made from ``scenario`` (scenario
-    objects are stateful), and the *same* ``seed`` — so every scheme sees
+    objects are stateful; ``scenario_kwargs`` are forwarded to the named
+    scenario's constructor), and the *same* ``seed`` — so every scheme sees
     the identical event sequence, staleness-window probes and traffic
     batches, and the per-epoch rows are directly comparable across schemes.
 
@@ -397,6 +399,7 @@ def run_live_matrix(
     """
     # local import: repro.live pulls in dynamics.scenario, which imports
     # this module — importing it lazily keeps the package graph acyclic
+    from repro.dynamics.scenario import make_scenario
     from repro.live import LiveSimulator
 
     result = ExperimentResult(name=name)
@@ -413,8 +416,14 @@ def run_live_matrix(
         scheme = build_scheme(scheme_name, graph, k=k, seed=seed,
                               oracle=oracle, **kwargs)
         build_seconds = time.perf_counter() - start
+        # a fresh scenario per scheme: scenario objects carry plan state
+        # (partition regions, flap schedules), so sharing one across
+        # timelines would leak one scheme's plan into the next
+        scenario_for_scheme = (make_scenario(scenario, **scenario_kwargs)
+                               if scenario_kwargs and isinstance(scenario, str)
+                               else scenario)
         simulator = LiveSimulator(
-            scheme, scenario, oracle=oracle, model=model,
+            scheme, scenario_for_scheme, oracle=oracle, model=model,
             model_kwargs=model_kwargs, epochs=epochs,
             epoch_packets=epoch_packets, batch_size=batch_size,
             stale_packets=stale_packets, shards=shards,

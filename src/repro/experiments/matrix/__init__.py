@@ -1,0 +1,33 @@
+"""Config-driven experiment matrix.
+
+Declarative specs (JSON, or TOML on 3.11+) name a ``kind`` — one of the six
+historical experiment bodies or the general ``grid`` / ``traffic`` /
+``live`` matrix kinds — plus its parameters and a seed list; the runner
+materializes one result directory per seed (resumable: finished seeds are
+loaded, not re-run) and merges the tables.  Committed configs live in
+``configs/``; ``python -m repro.experiments.matrix configs/<name>.json``
+runs one from the command line.
+"""
+
+from repro.experiments.matrix.kinds import KIND_NAMES, KINDS
+from repro.experiments.matrix.runner import (
+    TIMING_COLUMNS,
+    MatrixRunReport,
+    run_config,
+    run_spec,
+    strip_timing,
+)
+from repro.experiments.matrix.spec import MatrixSpec, load_spec, spec_from_mapping
+
+__all__ = [
+    "KINDS",
+    "KIND_NAMES",
+    "TIMING_COLUMNS",
+    "MatrixSpec",
+    "MatrixRunReport",
+    "load_spec",
+    "spec_from_mapping",
+    "run_config",
+    "run_spec",
+    "strip_timing",
+]

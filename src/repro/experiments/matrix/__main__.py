@@ -1,0 +1,45 @@
+"""CLI: ``python -m repro.experiments.matrix <config.json> [...]``.
+
+Runs each config through the resumable matrix runner and prints the merged
+table.  ``--full`` switches every spec to its full sizes, ``--force``
+re-runs seeds whose results are already on disk, ``--out`` relocates the
+result tree (default ``results/`` under the current directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.matrix.runner import run_config
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.matrix",
+        description="Run config-driven experiment matrices.")
+    parser.add_argument("configs", nargs="+", metavar="CONFIG",
+                        help="spec files (.json always; .toml on Python 3.11+)")
+    parser.add_argument("--out", default="results",
+                        help="output root for per-seed result directories")
+    parser.add_argument("--quick", dest="quick", action="store_true",
+                        default=None, help="force quick sizes")
+    parser.add_argument("--full", dest="quick", action="store_false",
+                        help="force full sizes")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run seeds even when a matching result exists")
+    args = parser.parse_args(argv)
+
+    for path in args.configs:
+        report = run_config(path, out_dir=args.out, quick=args.quick,
+                            force=args.force)
+        print(report.table())
+        resumed = sorted(report.resumed_seeds)
+        ran = sorted(report.ran_seeds)
+        print(f"[{report.spec.name}] seeds ran={ran} resumed={resumed} "
+              f"-> {report.out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Resolve a spec into per-seed result directories and a merged report.
+
+Layout under the output root::
+
+    <out>/<spec.name>/
+        seed-<s>/result.json     one per seed: rows + metadata + fingerprint
+        merged.json              all seeds' rows with a ``run_seed`` column
+        merged.csv               the same rows as CSV
+        report.md                the merged table rendered for humans
+
+Runs are resumable: a ``result.json`` whose fingerprint matches the spec's
+current ``(name, kind, params, quick)`` identity is loaded instead of
+re-run, so interrupting a ten-seed sweep and restarting it only pays for
+the missing seeds — and adding seeds to a config never invalidates the ones
+already on disk.  ``force=True`` ignores (and overwrites) everything.
+
+Timing columns (``build_seconds``, ``pps``, ...) are environment noise, not
+measurements; :data:`TIMING_COLUMNS` names them so comparisons — including
+the bit-identical shim-vs-matrix test — can strip them in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.matrix.kinds import KINDS
+from repro.experiments.matrix.spec import MatrixSpec, load_spec, spec_fingerprint
+from repro.experiments.reporting import format_table, results_to_csv
+
+__all__ = [
+    "TIMING_COLUMNS",
+    "MatrixRunReport",
+    "run_spec",
+    "run_config",
+    "strip_timing",
+]
+
+#: Row fields that measure wall time or throughput, never routing quality —
+#: excluded from any "same result?" comparison across runs or machines.
+TIMING_COLUMNS = frozenset({
+    "build_seconds", "scalar_seconds", "lockstep_seconds", "seconds", "pps",
+    "repair_seconds", "recompile_seconds", "stale_seconds", "epoch_seconds",
+})
+
+
+def strip_timing(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rows minus the timing/throughput columns (incl. profile_* stages)."""
+    return [{k: v for k, v in row.items()
+             if k not in TIMING_COLUMNS and not k.startswith("profile_")}
+            for row in rows]
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a result JSON-serializable without importing numpy types here.
+
+    Scalars with ``.item()`` (numpy) unwrap; arrays with ``.tolist()``
+    flatten; mappings/sequences recurse; anything else that ``json`` cannot
+    take becomes ``repr`` text (metadata sometimes carries live objects —
+    scheme instances, AGMParams — that only need to be human-legible).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return _sanitize(value.item())
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        try:
+            return _sanitize(value.tolist())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+@dataclass
+class MatrixRunReport:
+    """What one :func:`run_spec` call did, and where the artifacts landed."""
+
+    spec: MatrixSpec
+    quick: bool
+    out_dir: Path
+    merged: ExperimentResult
+    per_seed: Dict[int, ExperimentResult] = field(default_factory=dict)
+    resumed_seeds: List[int] = field(default_factory=list)
+    ran_seeds: List[int] = field(default_factory=list)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        return self.merged.rows
+
+    def table(self) -> str:
+        """The merged table rendered with the kind's preferred columns."""
+        columns = self.merged.metadata.get("columns")
+        if columns:
+            columns = list(columns)
+            if len(self.spec.seeds) > 1 and "run_seed" not in columns:
+                columns = ["run_seed"] + columns
+            columns = [c for c in columns
+                       if any(c in row for row in self.merged.rows)] or None
+        return format_table(self.merged.rows, columns=columns,
+                            title=f"{self.spec.name} [{self.spec.kind}]"
+                                  f" ({'quick' if self.quick else 'full'})")
+
+
+def _seed_dir(root: Path, seed: int) -> Path:
+    return root / f"seed-{seed}"
+
+
+def _load_seed_result(path: Path, fingerprint: str) -> Optional[ExperimentResult]:
+    """A prior seed's result, if it exists and matches the current spec."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if payload.get("fingerprint") != fingerprint or payload.get("status") != "ok":
+        return None
+    return ExperimentResult(name=payload.get("result_name", path.parent.name),
+                            rows=payload.get("rows", []),
+                            metadata=payload.get("metadata", {}))
+
+
+def run_spec(spec: MatrixSpec,
+             out_dir: Union[str, Path] = "results",
+             quick: Optional[bool] = None,
+             force: bool = False) -> MatrixRunReport:
+    """Run every seed of ``spec``, resuming finished ones, and merge."""
+    quick = spec.resolved_quick(quick)
+    fingerprint = spec_fingerprint(spec, quick)
+    root = Path(out_dir) / spec.name
+    root.mkdir(parents=True, exist_ok=True)
+    kind_fn = KINDS[spec.kind]
+
+    report = MatrixRunReport(spec=spec, quick=quick, out_dir=root,
+                             merged=ExperimentResult(name=spec.name))
+    for seed in spec.seeds:
+        seed_dir = _seed_dir(root, seed)
+        result_path = seed_dir / "result.json"
+        result = None if force else _load_seed_result(result_path, fingerprint)
+        if result is None:
+            result = kind_fn(quick=quick, seed=seed, **dict(spec.params))
+            seed_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "status": "ok",
+                "fingerprint": fingerprint,
+                "spec_name": spec.name,
+                "kind": spec.kind,
+                "seed": seed,
+                "quick": quick,
+                "result_name": result.name,
+                "rows": _sanitize(result.rows),
+                "metadata": _sanitize(result.metadata),
+            }
+            tmp_path = result_path.with_suffix(".json.tmp")
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            tmp_path.replace(result_path)  # atomic: never a torn result.json
+            report.ran_seeds.append(seed)
+        else:
+            report.resumed_seeds.append(seed)
+        report.per_seed[seed] = result
+        for row in result.rows:
+            merged_row = dict(row)
+            merged_row["run_seed"] = seed
+            report.merged.add_row(**merged_row)
+
+    # merged metadata: the kinds' display columns plus provenance
+    first = report.per_seed[spec.seeds[0]]
+    report.merged.metadata.update(_sanitize(first.metadata))
+    report.merged.metadata.update(
+        kind=spec.kind, quick=quick, seeds=list(spec.seeds),
+        fingerprint=fingerprint)
+
+    merged_payload = {
+        "spec_name": spec.name,
+        "kind": spec.kind,
+        "quick": quick,
+        "seeds": list(spec.seeds),
+        "fingerprint": fingerprint,
+        "rows": _sanitize(report.merged.rows),
+        "metadata": _sanitize(report.merged.metadata),
+    }
+    with open(root / "merged.json", "w", encoding="utf-8") as handle:
+        json.dump(merged_payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    with open(root / "merged.csv", "w", encoding="utf-8") as handle:
+        handle.write(results_to_csv(merged_payload["rows"]))
+    with open(root / "report.md", "w", encoding="utf-8") as handle:
+        handle.write(report.table() + "\n")
+    return report
+
+
+def run_config(path: Union[str, Path],
+               out_dir: Union[str, Path] = "results",
+               quick: Optional[bool] = None,
+               force: bool = False) -> MatrixRunReport:
+    """Load a config file and run it — the one-call entry point."""
+    return run_spec(load_spec(path), out_dir=out_dir, quick=quick, force=force)

@@ -38,10 +38,20 @@ class WorkloadSpec:
     full_n: int
     seed: int = 0
 
-    def build(self, quick: bool = True, seed: Optional[int] = None) -> WeightedGraph:
-        """Materialize the workload graph."""
+    def build(self, quick: bool = True, seed: Optional[int] = None,
+              seed_offset: int = 0) -> WeightedGraph:
+        """Materialize the workload graph.
+
+        ``seed`` replaces the spec's pinned seed outright; ``seed_offset``
+        shifts it instead.  Experiment entry points thread their run seed
+        through as an offset, so ``run(seed=0)`` (the default) reproduces
+        the historical pinned graphs bit for bit while ``run(seed=s)``
+        honestly varies the graph draw — previously the run seed was
+        silently dropped here and every "seed sweep" re-measured one graph.
+        """
         n = self.quick_n if quick else self.full_n
-        return make_workload(self.family, n, seed=self.seed if seed is None else seed)
+        base = self.seed if seed is None else seed
+        return make_workload(self.family, n, seed=base + int(seed_offset))
 
 
 _BUILDERS: Dict[str, Callable[[int, Optional[int]], WeightedGraph]] = {
@@ -51,13 +61,32 @@ _BUILDERS: Dict[str, Callable[[int, Optional[int]], WeightedGraph]] = {
                                        max(int(round(n ** 0.5)), 2), seed=seed),
     "barabasi-albert": lambda n, seed: barabasi_albert_graph(n, seed=seed),
     "ring-of-cliques": lambda n, seed: ring_of_cliques(max(n // 8, 3), 8, seed=seed),
+    "hyperbolic": lambda n, seed: _topologies().hyperbolic_graph(n, seed=seed),
+    "powerlaw-cluster":
+        lambda n, seed: _topologies().powerlaw_cluster_graph(n, seed=seed),
 }
 
 
+def _topologies():
+    """Lazy import: the topology module pulls in hashing/manifest machinery."""
+    from repro.graphs import topologies
+
+    return topologies
+
+
 def make_workload(family: str, n: int, seed: Optional[int] = None) -> WeightedGraph:
-    """Build a workload graph of the named family with roughly ``n`` nodes."""
+    """Build a workload graph of the named family with roughly ``n`` nodes.
+
+    Families prefixed ``topology:`` load a pinned real-world snapshot by
+    manifest name (``topology:caida-as-mini``); the snapshot has a fixed
+    size and byte-pinned contents, so ``n`` and ``seed`` are ignored — the
+    honest way to put a measured topology in a slot that sweeps seeds.
+    """
+    if family.startswith("topology:"):
+        return _topologies().load_topology(family.split(":", 1)[1])
     if family not in _BUILDERS:
-        raise ValueError(f"unknown workload family {family!r}; choose from {sorted(_BUILDERS)}")
+        raise ValueError(f"unknown workload family {family!r}; choose from "
+                         f"{sorted(_BUILDERS)} or 'topology:<name>'")
     return _BUILDERS[family](n, seed)
 
 

@@ -1,0 +1,419 @@
+"""Real-world topology snapshots and internet-like generators.
+
+Compact routing's stretch/space claims are only meaningful on the graph
+families routers actually see — AS-level internet maps, ISP backbones, road
+networks — so this module gives the experiment layer two input classes:
+
+**Pinned snapshot loaders.**  Parsers for three standard wire formats:
+
+* ``caida-aslinks`` — CAIDA AS-relationship lines ``<as1>|<as2>|<rel>``
+  (provider–customer ``-1``, peer ``0``; ``#`` comments);
+* ``rocketfuel-weights`` — Rocketfuel ISP maps in the inferred-IGP-weight
+  format ``<node> <node> <weight>`` with free-form string node ids;
+* ``dimacs-gr`` — the 9th DIMACS shortest-path challenge road-network
+  format (``c`` comments, one ``p sp <n> <m>`` header, ``a <u> <v> <w>``
+  arcs, 1-indexed, both arc directions listed).
+
+Snapshots live in ``data/topologies/`` and are **pinned** by
+``MANIFEST.json``: every entry records the file, its wire format, a sha256
+checksum, upstream provenance, and the expected graph shape after loading.
+:func:`load_topology` refuses a snapshot whose bytes do not hash to the
+pinned checksum — an edited or truncated snapshot can never silently feed
+an experiment.  The checked-in files are miniature, deterministically
+generated stand-ins *in the upstream wire formats* (see
+``tools/make_topology_snapshots.py``); drop in a full CAIDA/Rocketfuel/
+DIMACS download next to them and pin its checksum to run the real thing —
+the loaders are format-complete.
+
+**Internet-like generators at scale.**  :func:`hyperbolic_graph` samples
+the Krioukov et al. H² model (power-law degrees, strong clustering — the
+geometry underlying internet topology), with angle-sorted candidate
+pruning so edge enumeration does not touch all ``n²`` pairs;
+:func:`powerlaw_cluster_graph` is the Holme–Kim clustered scale-free
+family.  Both are registered as workload families
+(:mod:`repro.experiments.workloads`), so benches can sweep them at any
+``n``.
+
+Loaded topologies keep only their largest connected component (the
+standard reduction in measured-topology studies — stitching fake edges
+into a measured AS graph would fabricate links), relabel nodes densely in
+sorted-original-id order, and carry the usual adversarial random names
+derived from the snapshot name, so repeated loads are bit-identical.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import WeightedGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+#: repo-root-relative default snapshot directory
+DEFAULT_DATA_DIR = os.path.join("data", "topologies")
+
+#: recognized snapshot wire formats
+TOPOLOGY_FORMATS = ("caida-aslinks", "rocketfuel-weights", "dimacs-gr")
+
+RawEdge = Tuple[object, object, float]
+
+
+# --------------------------------------------------------------------------- #
+# wire-format parsers (raw ids -> edge triples)
+# --------------------------------------------------------------------------- #
+def _open_text(path: str):
+    """Open a snapshot, transparently decompressing ``.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def parse_caida_aslinks(path: str) -> List[RawEdge]:
+    """CAIDA AS-relationship lines ``as1|as2|rel``; relationship discarded.
+
+    The AS-level graph is unweighted (one hop per AS link); provider/peer
+    annotations matter for policy routing, not for the metric the schemes
+    route over, so every link gets weight 1.
+    """
+    edges: List[RawEdge] = []
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            require(len(parts) >= 2, f"malformed as-rel line: {line!r}")
+            a, b = int(parts[0]), int(parts[1])
+            if a != b:
+                edges.append((a, b, 1.0))
+    return edges
+
+
+def parse_rocketfuel_weights(path: str) -> List[RawEdge]:
+    """Rocketfuel inferred-weight lines ``<node> <node> <weight>``.
+
+    Node ids are free-form strings (Rocketfuel uses city/POP labels); the
+    weight is the inferred IGP link weight.
+    """
+    edges: List[RawEdge] = []
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            require(len(parts) >= 3,
+                    f"malformed rocketfuel weights line: {line!r}")
+            u, v, w = parts[0], parts[1], float(parts[2])
+            require(w > 0, f"non-positive link weight in {line!r}")
+            if u != v:
+                edges.append((u, v, w))
+    return edges
+
+
+def parse_dimacs_gr(path: str) -> List[RawEdge]:
+    """DIMACS shortest-path ``.gr`` arcs (1-indexed, both directions listed)."""
+    edges: List[RawEdge] = []
+    declared: Optional[Tuple[int, int]] = None
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                require(len(parts) == 4 and parts[1] == "sp",
+                        f"malformed problem line: {line!r}")
+                declared = (int(parts[2]), int(parts[3]))
+            elif parts[0] == "a":
+                require(len(parts) == 4, f"malformed arc line: {line!r}")
+                u, v, w = int(parts[1]), int(parts[2]), float(parts[3])
+                require(w > 0, f"non-positive arc weight in {line!r}")
+                if u != v:
+                    edges.append((u, v, w))
+    require(declared is not None, f"{path}: missing 'p sp <n> <m>' header")
+    return edges
+
+
+_PARSERS: Dict[str, Callable[[str], List[RawEdge]]] = {
+    "caida-aslinks": parse_caida_aslinks,
+    "rocketfuel-weights": parse_rocketfuel_weights,
+    "dimacs-gr": parse_dimacs_gr,
+}
+
+
+# --------------------------------------------------------------------------- #
+# raw edges -> WeightedGraph
+# --------------------------------------------------------------------------- #
+def _largest_component_graph(edges: List[RawEdge], name_seed: int) -> WeightedGraph:
+    """Relabel raw ids densely, keep the largest component, attach names.
+
+    Parallel links collapse to the minimum weight (the usable one).  Nodes
+    are relabeled in sorted-original-id order so the dense index assignment
+    is reproducible across loads; the adversarial random names derive from
+    ``name_seed``, never from the topology.
+    """
+    require(len(edges) > 0, "snapshot contains no edges")
+    ids = sorted({u for u, _, _ in edges} | {v for _, v, _ in edges},
+                 key=lambda x: (str(type(x)), str(x)))
+    index = {node: i for i, node in enumerate(ids)}
+    n = len(ids)
+    best: Dict[Tuple[int, int], float] = {}
+    for u, v, w in edges:
+        a, b = index[u], index[v]
+        key = (a, b) if a < b else (b, a)
+        prev = best.get(key)
+        if prev is None or w < prev:
+            best[key] = w
+    # union-find for the largest component
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    for a, b in best:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    roots = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+    counts = np.bincount(roots, minlength=n)
+    keep_root = int(np.argmax(counts))
+    keep = np.flatnonzero(roots == keep_root)
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[keep] = np.arange(keep.size, dtype=np.int64)
+    final = [(int(remap[a]), int(remap[b]), w) for (a, b), w in best.items()
+             if remap[a] >= 0 and remap[b] >= 0]
+    return WeightedGraph(int(keep.size), final, seed=name_seed)
+
+
+# --------------------------------------------------------------------------- #
+# the pinned manifest
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """One pinned snapshot: file, wire format, checksum, provenance."""
+
+    name: str
+    file: str
+    format: str
+    sha256: str
+    upstream: str = ""
+    snapshot_date: str = ""
+    provenance: str = ""
+    nodes: Optional[int] = None
+    edges: Optional[int] = None
+
+
+def data_dir(override: Optional[str] = None) -> str:
+    """The snapshot directory: explicit > ``$REPRO_TOPOLOGY_DIR`` > default.
+
+    The default resolves relative to the repository root (three levels above
+    this file), so loaders work from any working directory.
+    """
+    if override:
+        return override
+    env = os.environ.get("REPRO_TOPOLOGY_DIR")
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, DEFAULT_DATA_DIR)
+
+
+def load_manifest(directory: Optional[str] = None) -> Dict[str, TopologySnapshot]:
+    """Parse ``MANIFEST.json`` into snapshot records keyed by name."""
+    directory = data_dir(directory)
+    path = os.path.join(directory, "MANIFEST.json")
+    require(os.path.exists(path), f"topology manifest not found: {path}")
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    out: Dict[str, TopologySnapshot] = {}
+    for name, entry in raw.items():
+        require(entry.get("format") in TOPOLOGY_FORMATS,
+                f"manifest entry {name!r} has unknown format "
+                f"{entry.get('format')!r}")
+        require(bool(entry.get("sha256")),
+                f"manifest entry {name!r} is missing its sha256 pin")
+        out[name] = TopologySnapshot(
+            name=name,
+            file=entry["file"],
+            format=entry["format"],
+            sha256=entry["sha256"],
+            upstream=entry.get("upstream", ""),
+            snapshot_date=entry.get("snapshot_date", ""),
+            provenance=entry.get("provenance", ""),
+            nodes=entry.get("nodes"),
+            edges=entry.get("edges"),
+        )
+    return out
+
+
+def topology_names(directory: Optional[str] = None) -> Tuple[str, ...]:
+    """Names of every pinned snapshot (sorted)."""
+    return tuple(sorted(load_manifest(directory)))
+
+
+def sha256_of(path: str) -> str:
+    """Streaming sha256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _name_seed(name: str) -> int:
+    """Deterministic adversarial-name seed from the snapshot name."""
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+
+
+def load_topology(name: str, directory: Optional[str] = None,
+                  verify: bool = True) -> WeightedGraph:
+    """Load a pinned snapshot by manifest name.
+
+    The file's sha256 must match the manifest pin (``verify=False`` skips
+    the hash for throwaway local experiments — never in committed configs),
+    and the loaded graph must match the manifest's expected node/edge
+    counts when they are pinned too.
+    """
+    manifest = load_manifest(directory)
+    require(name in manifest,
+            f"unknown topology {name!r}; pinned snapshots: "
+            f"{sorted(manifest)}")
+    snap = manifest[name]
+    path = os.path.join(data_dir(directory), snap.file)
+    require(os.path.exists(path), f"snapshot file missing: {path}")
+    if verify:
+        actual = sha256_of(path)
+        require(actual == snap.sha256,
+                f"snapshot {name!r} failed its checksum pin: "
+                f"expected {snap.sha256[:12]}..., got {actual[:12]}... — "
+                f"the file was modified or truncated")
+    edges = _PARSERS[snap.format](path)
+    graph = _largest_component_graph(edges, _name_seed(name))
+    if snap.nodes is not None:
+        require(graph.n == snap.nodes,
+                f"snapshot {name!r}: expected {snap.nodes} nodes after "
+                f"largest-component reduction, got {graph.n}")
+    if snap.edges is not None:
+        require(graph.num_edges == snap.edges,
+                f"snapshot {name!r}: expected {snap.edges} edges, "
+                f"got {graph.num_edges}")
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# internet-like generators at scale
+# --------------------------------------------------------------------------- #
+def hyperbolic_graph(n: int, avg_degree: float = 6.0, gamma: float = 2.5,
+                     weights: str = "unit", wmin: float = 1.0,
+                     wmax: float = 10.0,
+                     seed: Optional[int] = None) -> WeightedGraph:
+    """Krioukov et al. H² random hyperbolic graph (power law + clustering).
+
+    Nodes are placed on a hyperbolic disk of radius ``R``: angles uniform,
+    radii with density ``∝ sinh(α r)`` for ``α = (γ − 1) / 2`` (yielding a
+    degree power law with exponent ``γ``), and two nodes are linked iff
+    their hyperbolic distance is at most ``R``.  ``R`` is chosen from the
+    Krioukov mean-degree approximation
+    ``k̄ ≈ (2 α² / (π (α − ½)²)) · n · e^{−R/2}``.
+
+    Edge enumeration sorts nodes by angle and, per node, only examines the
+    angular window that can possibly satisfy ``d ≤ R`` given the node's
+    radius (the window for a partner at the *smallest* radius) — near-linear
+    work for γ > 2 instead of all ``n²`` pairs, with the exact ``cosh``
+    distance test applied inside the window.
+
+    The output is post-processed like every other generator (largest
+    component stitched connected, adversarial names), so it drops into any
+    workload slot.
+    """
+    require(n >= 2, "need at least two nodes")
+    require(gamma > 2.0, "degree exponent must exceed 2 for a finite mean")
+    require(avg_degree > 0, "average degree must be positive")
+    rng = make_rng(seed)
+    alpha = (gamma - 1.0) / 2.0
+    prefactor = 2.0 * alpha ** 2 / (np.pi * (alpha - 0.5) ** 2)
+    radius = 2.0 * np.log(max(prefactor * n / avg_degree, 1.001))
+
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    u = rng.uniform(0.0, 1.0, size=n)
+    # inverse-CDF of the sinh density, numerically safe via cosh
+    r = np.arccosh(1.0 + u * (np.cosh(alpha * radius) - 1.0)) / alpha
+
+    order = np.argsort(theta, kind="stable")
+    theta_s, r_s = theta[order], r[order]
+    cosh_r, sinh_r = np.cosh(r_s), np.sinh(r_s)
+    cosh_R = np.cosh(radius)
+    r_min = float(r_s.min())
+    # widest useful window per node: partner at r_min; cos Δθ solved from
+    # cosh d = cosh r_u cosh r_min − sinh r_u sinh r_min cos Δθ = cosh R
+    edges: List[Tuple[int, int, float]] = []
+    two_pi = 2.0 * np.pi
+    cosh_rmin, sinh_rmin = np.cosh(r_min), np.sinh(r_min)
+    for i in range(n):
+        denom = sinh_r[i] * sinh_rmin
+        if denom <= 0:
+            window = np.pi
+        else:
+            cos_bound = (cosh_r[i] * cosh_rmin - cosh_R) / denom
+            window = np.pi if cos_bound <= -1.0 else (
+                0.0 if cos_bound >= 1.0 else float(np.arccos(cos_bound)))
+        # forward angular neighbors within the window (wrap-around aware);
+        # each unordered pair is seen once from its lower-angle endpoint
+        lo = theta_s[i]
+        hi = lo + window
+        j_end = int(np.searchsorted(theta_s, hi, side="right"))
+        cand = np.arange(i + 1, j_end, dtype=np.int64)
+        if hi > two_pi:
+            wrap_end = int(np.searchsorted(theta_s, hi - two_pi, side="right"))
+            wrap = np.arange(0, min(wrap_end, i), dtype=np.int64)
+            cand = np.concatenate((cand, wrap))
+        if cand.size == 0:
+            continue
+        dtheta = np.abs(theta_s[cand] - lo)
+        dtheta = np.minimum(dtheta, two_pi - dtheta)
+        cosh_d = cosh_r[i] * cosh_r[cand] \
+            - sinh_r[i] * sinh_r[cand] * np.cos(dtheta)
+        hits = cand[cosh_d <= cosh_R]
+        for j in hits:
+            edges.append((int(order[i]), int(order[j]), 1.0))
+
+    import networkx as nx
+
+    from repro.graphs.generators import _finalize
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from((a, b) for a, b, _ in edges)
+    return _finalize(nxg, rng, weights, wmin, wmax)
+
+
+def powerlaw_cluster_graph(n: int, attach: int = 2, triangle_p: float = 0.3,
+                           weights: str = "uniform", wmin: float = 1.0,
+                           wmax: float = 10.0,
+                           seed: Optional[int] = None) -> WeightedGraph:
+    """Holme–Kim clustered scale-free graph (BA growth + triad closure)."""
+    require(n >= 3, "need at least three nodes")
+    require(0.0 <= triangle_p <= 1.0, "triangle probability must be in [0, 1]")
+    import networkx as nx
+
+    from repro.graphs.generators import _finalize
+
+    rng = make_rng(seed)
+    m = max(1, min(int(attach), n - 1))
+    nxg = nx.powerlaw_cluster_graph(n, m, triangle_p,
+                                    seed=int(rng.integers(0, 2**31 - 1)))
+    return _finalize(nxg, rng, weights, wmin, wmax)

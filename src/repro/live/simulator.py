@@ -49,7 +49,9 @@ import numpy as np
 from repro.dynamics.events import apply_events
 from repro.dynamics.repair import RepairReport, full_rebuild
 from repro.dynamics.scenario import (
+    STRUCTURE_KEY_NS,
     ChurnScenario,
+    TrafficDirective,
     make_scenario,
     stale_delivery_rate,
 )
@@ -319,9 +321,38 @@ class LiveSimulator:
     def _derived_seed(self, key: int, epoch: int) -> int:
         return int(derive_rng(self.seed, key, epoch).integers(0, 2**31 - 1))
 
-    def _make_model(self, seed: int):
-        return make_traffic_model(self.model_name, self.graph, seed=seed,
-                                  **self.model_kwargs)
+    def _make_model(self, seed: int, epoch: int):
+        """Build the traffic model for ``epoch``, honouring the scenario.
+
+        Adversarial scenarios steer traffic through
+        :class:`~repro.dynamics.scenario.TrafficDirective`: the directive
+        may swap the model family for the epoch (a storm turning zipf
+        traffic into targeted hotspot load), merge extra model kwargs
+        (explicit victim nodes), and pin the model's *structure seed* via
+        ``structure_key`` — epochs sharing a key share a hot set even
+        though their packet streams are re-seeded per epoch, and a key
+        change migrates the hot set (invalidating the pinned hot-row
+        scoring cache through its fingerprint).
+        """
+        directive: Optional[TrafficDirective] = None
+        if epoch >= 0:
+            directive = self.scenario.traffic_for_epoch(
+                self.graph, epoch, self.epochs)
+        name = self.model_name
+        kwargs = dict(self.model_kwargs)
+        if directive is not None:
+            if directive.model is not None and directive.model != name:
+                # a family swap abandons the base kwargs too — they belong
+                # to the base family (a zipf `support` means nothing to the
+                # storm's hotspot model)
+                name = directive.model
+                kwargs = {}
+            kwargs.update(directive.model_kwargs)
+            if directive.structure_key is not None:
+                kwargs["structure_seed"] = int(derive_rng(
+                    self.seed, STRUCTURE_KEY_NS,
+                    directive.structure_key).integers(0, 2**31 - 1))
+        return make_traffic_model(name, self.graph, seed=seed, **kwargs)
 
     # -- timeline --------------------------------------------------------- #
     def run(self) -> LiveTimeline:
@@ -343,9 +374,12 @@ class LiveSimulator:
             # before the events so the window routes on genuinely stale state
             stale_program = self.scheme.compiled_forwarding()
             # the probe model is built pre-churn too: its pair eligibility
-            # must reflect the traffic that was already in flight
-            stale_model = self._make_model(self._derived_seed(_STALE_KEY,
-                                                              epoch))
+            # must reflect the traffic that was already in flight — which
+            # belongs to the *previous* epoch's regime, so the directive
+            # consulted is epoch - 1's (a storm starting this epoch must
+            # not retroactively shape the packets already in the air)
+            stale_model = self._make_model(
+                self._derived_seed(_STALE_KEY, epoch), epoch - 1)
             events = self.scenario.events_for_epoch(
                 self.graph, epoch, self.epochs, self._event_rng)
             delta = apply_events(self.graph, events)
@@ -403,7 +437,7 @@ class LiveSimulator:
             scoring=scorer if scorer is not None else "exact")
 
     def _run_epoch_traffic(self, epoch: int):
-        model = self._make_model(self._derived_seed(_MODEL_KEY, epoch))
+        model = self._make_model(self._derived_seed(_MODEL_KEY, epoch), epoch)
         # approximate scorers snapshot graph state (landmark rows,
         # component ids) — always rebuild on the post-repair graph
         scorer = make_scorer(self.scoring, self.graph, self.oracle,

@@ -113,6 +113,38 @@ class _HotRowCache:
         return out
 
 
+def hot_row_cache_for(oracle: DistanceOracle, hot: np.ndarray,
+                      graph: WeightedGraph) -> _HotRowCache:
+    """The pinned hot-row cache for ``(oracle, hot set)``, memoized per oracle.
+
+    Epoch-structured drivers (the live timeline, scenario runners) call
+    :func:`run_traffic` once per epoch with a freshly seeded model whose hot
+    set usually has not moved; rebuilding the pinned ``(k, n)`` matrix every
+    epoch re-gathers megabytes of rows for nothing.  The cache is memoized
+    on the oracle itself, keyed by ``(graph.version, hot-set bytes)``:
+
+    * **churn invalidates** — any graph mutation bumps ``graph.version``,
+      so stale distance rows can never score a post-repair epoch;
+    * **hot-set migration invalidates** — a flash crowd moving the Zipf
+      head (or a storm re-aiming its hotspots) changes the fingerprint, so
+      rows pinned for the *old* crowd are dropped, not silently reused for
+      destinations they never covered.
+
+    The memo survives the shared-memory arena: ``SharedArena.close``
+    restores the adopted ``rows`` attribute to the original in-process
+    array before unlinking the block.
+    """
+    hot = np.unique(np.asarray(hot, dtype=np.int64))
+    key = (graph.version, hot.tobytes())
+    memo = getattr(oracle, "_traffic_hot_memo", None)
+    if memo is not None and memo[0] == key:
+        return memo[1]
+    oracle.prefetch(hot)
+    cache = _HotRowCache(oracle, hot, graph.n)
+    oracle._traffic_hot_memo = (key, cache)
+    return cache
+
+
 class _BatchBuffers:
     """Warm per-shard scratch reused across service-loop batches.
 
@@ -618,11 +650,12 @@ def run_traffic(scheme: RoutingSchemeInstance, model: TrafficModel,
             # destination set, and pages filled after the fork are per-worker
             # (copy-on-write has diverged), so a cold oracle would re-run the
             # identical Dijkstras in every worker.  Then pin the rows as one
-            # contiguous matrix so hot-batch scoring is a single gather.
+            # contiguous matrix so hot-batch scoring is a single gather —
+            # memoized per oracle and invalidated by churn (graph.version)
+            # or hot-set migration (fingerprint), so epoch drivers reuse it.
             # Approximate scoring modes skip this: one exact Dijkstra per hot
             # destination is the exact cost those modes exist to avoid.
-            oracle.prefetch(hot)
-            hot_cache = _HotRowCache(oracle, np.asarray(hot), graph.n)
+            hot_cache = hot_row_cache_for(oracle, np.asarray(hot), graph)
         if program is not None:
             # warm each sorted table's per-destination column cache on the
             # hot set pre-fork so forked shards inherit (and, under shared

@@ -99,18 +99,29 @@ def _draw_cdf(rng: np.random.Generator, nodes: np.ndarray, cum: np.ndarray,
 
 
 class TrafficModel:
-    """Base class: seeded, batch-indexed pair generation over one graph."""
+    """Base class: seeded, batch-indexed pair generation over one graph.
+
+    ``seed`` drives the per-batch packet draws.  ``structure_seed``
+    (defaulting to ``seed``) drives the one-time structure — popularity
+    permutations, hotspot placement — separately, so a driver can re-seed
+    the packet stream every epoch while *pinning* the hot set, or migrate
+    the hot set mid-run while keeping the stream cadence: the two axes the
+    adversarial scenarios (flash crowds, hotspot storms) steer
+    independently.
+    """
 
     name = "abstract"
 
-    def __init__(self, graph: WeightedGraph, seed: SeedLike = 0) -> None:
+    def __init__(self, graph: WeightedGraph, seed: SeedLike = 0,
+                 structure_seed: Optional[SeedLike] = None) -> None:
         self.graph = graph
         self.seed = seed
+        self.structure_seed = seed if structure_seed is None else structure_seed
         self.index = _ComponentIndex(graph)
 
     def _init_rng(self) -> np.random.Generator:
         """Generator for one-time structure (popularity permutations etc.)."""
-        return derive_rng(self.seed, _INIT_KEY)
+        return derive_rng(self.structure_seed, _INIT_KEY)
 
     def batch(self, batch_index: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
         """Packet batch ``batch_index``: parallel (sources, destinations).
@@ -178,8 +189,9 @@ class ZipfTraffic(TrafficModel):
     name = "zipf"
 
     def __init__(self, graph: WeightedGraph, seed: SeedLike = 0,
-                 exponent: float = 1.1, support: Optional[int] = None) -> None:
-        super().__init__(graph, seed)
+                 exponent: float = 1.1, support: Optional[int] = None,
+                 structure_seed: Optional[SeedLike] = None) -> None:
+        super().__init__(graph, seed, structure_seed=structure_seed)
         require(exponent > 0, "zipf exponent must be positive")
         self.exponent = float(exponent)
         eligible = self.index.eligible
@@ -222,8 +234,9 @@ class GravityTraffic(TrafficModel):
 
     def __init__(self, graph: WeightedGraph, seed: SeedLike = 0,
                  alpha: float = 1.0, locality: float = 0.7, hops: int = 2,
-                 max_neighbors: int = 64) -> None:
-        super().__init__(graph, seed)
+                 max_neighbors: int = 64,
+                 structure_seed: Optional[SeedLike] = None) -> None:
+        super().__init__(graph, seed, structure_seed=structure_seed)
         require(0.0 <= locality <= 1.0, "locality must be in [0, 1]")
         require(hops >= 1, "neighborhood radius must be at least 1 hop")
         self.alpha = float(alpha)
@@ -305,21 +318,34 @@ class HotspotTraffic(TrafficModel):
 
     name = "hotspot"
 
-    PLACEMENTS = ("high-degree", "low-degree", "random")
+    PLACEMENTS = ("high-degree", "low-degree", "random", "explicit")
 
     def __init__(self, graph: WeightedGraph, seed: SeedLike = 0,
                  hotspots: int = 8, fraction: float = 0.8,
-                 placement: str = "high-degree") -> None:
-        super().__init__(graph, seed)
+                 placement: str = "high-degree",
+                 nodes: Optional[np.ndarray] = None,
+                 structure_seed: Optional[SeedLike] = None) -> None:
+        super().__init__(graph, seed, structure_seed=structure_seed)
         require(hotspots >= 1, "need at least one hotspot")
         require(0.0 <= fraction <= 1.0, "hotspot fraction must be in [0, 1]")
+        if nodes is not None:
+            placement = "explicit"
         require(placement in self.PLACEMENTS,
                 f"placement must be one of {self.PLACEMENTS}, got {placement!r}")
+        require(placement != "explicit" or nodes is not None,
+                "explicit placement requires the hotspot nodes")
         self.fraction = float(fraction)
         self.placement = placement
         eligible = self.index.eligible
         count = min(int(hotspots), eligible.size)
-        if placement == "random":
+        if placement == "explicit":
+            # scenario-chosen hotspots (e.g. a storm aimed at a region about
+            # to be partitioned); restricted to eligible nodes so the draw
+            # never produces an unroutable pair
+            hot = np.intersect1d(np.asarray(nodes, dtype=np.int64), eligible)
+            require(hot.size > 0,
+                    "explicit hotspot set has no eligible (connected) node")
+        elif placement == "random":
             chosen = self._init_rng().choice(eligible.size, size=count,
                                              replace=False)
             hot = eligible[np.sort(chosen)]
@@ -350,12 +376,86 @@ class HotspotTraffic(TrafficModel):
         return out
 
 
+class FlashCrowdTraffic(TrafficModel):
+    """A Zipf crowd whose hot set *migrates* between phases mid-stream.
+
+    The batch index is divided into phases of ``batches_per_phase`` batches;
+    phase ``p`` (cycling through ``num_phases``) draws destinations Zipf-wise
+    from its own seeded permutation of the eligible nodes truncated to
+    ``support`` — a flash crowd abandoning one hot set for another.  Because
+    the phase is a pure function of the batch index, the stream keeps the
+    batch-addressing contract: any shard regenerates exactly its batches,
+    and re-partitioning the batches across shards cannot change which phase
+    a batch belongs to.
+
+    Phase structure derives from ``structure_seed`` (namespaced per phase),
+    so a live driver can re-seed the packet stream per epoch while the
+    migration schedule stays pinned.  ``hot_destinations`` is the union of
+    every phase's support — the set a scoring cache must cover across the
+    whole run; a cache pinned to one phase's support is exactly the stale
+    state the migration is designed to invalidate.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(self, graph: WeightedGraph, seed: SeedLike = 0,
+                 exponent: float = 1.1, support: int = 16,
+                 batches_per_phase: int = 8, num_phases: int = 4,
+                 structure_seed: Optional[SeedLike] = None) -> None:
+        super().__init__(graph, seed, structure_seed=structure_seed)
+        require(exponent > 0, "zipf exponent must be positive")
+        require(support >= 1, "flash-crowd support must be at least 1")
+        require(batches_per_phase >= 1, "need at least one batch per phase")
+        require(num_phases >= 1, "need at least one phase")
+        self.exponent = float(exponent)
+        self.batches_per_phase = int(batches_per_phase)
+        self.num_phases = int(num_phases)
+        eligible = self.index.eligible
+        self.support = min(int(support), eligible.size)
+        weights = 1.0 / np.power(np.arange(1, self.support + 1, dtype=float),
+                                 self.exponent)
+        self._cum = np.cumsum(weights)
+        self._phase_hot = []
+        for p in range(self.num_phases):
+            perm = derive_rng(self.structure_seed, _INIT_KEY, p).permutation(
+                eligible)
+            self._phase_hot.append(perm[:self.support].astype(np.int64))
+
+    def phase_of(self, batch_index: int) -> int:
+        """The migration phase batch ``batch_index`` belongs to."""
+        return (int(batch_index) // self.batches_per_phase) % self.num_phases
+
+    def batch(self, batch_index: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        require(batch_index >= 0, "batch index must be non-negative")
+        require(size > 0, "batch size must be positive")
+        rng = derive_rng(self.seed, _BATCH_KEY, batch_index)
+        hot = self._phase_hot[self.phase_of(batch_index)]
+        dst = _draw_cdf(rng, hot, self._cum, int(size))
+        src = self.index.partner_uniform(rng, dst)
+        return src.astype(np.int64), dst.astype(np.int64)
+
+    def _draw(self, rng, size):  # pragma: no cover - batch() is overridden
+        raise NotImplementedError("flash-crowd draws are phase-addressed")
+
+    def hot_destinations(self):
+        """Union of every phase's hot set (the full-run cache footprint)."""
+        return np.unique(np.concatenate(self._phase_hot))
+
+    def describe(self):
+        out = super().describe()
+        out.update(exponent=self.exponent, support=self.support,
+                   batches_per_phase=self.batches_per_phase,
+                   num_phases=self.num_phases)
+        return out
+
+
 #: registry used by the harness / workloads / benches
 TRAFFIC_MODELS: Dict[str, Type[TrafficModel]] = {
     UniformTraffic.name: UniformTraffic,
     ZipfTraffic.name: ZipfTraffic,
     GravityTraffic.name: GravityTraffic,
     HotspotTraffic.name: HotspotTraffic,
+    FlashCrowdTraffic.name: FlashCrowdTraffic,
 }
 
 TRAFFIC_MODEL_NAMES = tuple(sorted(TRAFFIC_MODELS))

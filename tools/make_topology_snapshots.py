@@ -1,0 +1,205 @@
+"""Regenerate the miniature topology snapshots under ``data/topologies/``.
+
+The checked-in snapshots are deterministic stand-ins *written in the real
+upstream wire formats* (CAIDA as-rel, Rocketfuel inferred weights, DIMACS
+``.gr``), so the parsers in :mod:`repro.graphs.topologies` are exercised
+end to end against exactly the bytes a full download would have — sparse
+non-contiguous AS numbers, string POP labels, 1-indexed bidirectional
+arcs, comment headers, the lot.  A real CAIDA/Rocketfuel/DIMACS file drops
+into the same slot once its sha256 is pinned in ``MANIFEST.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/make_topology_snapshots.py
+
+Rewrites the three snapshot files and ``MANIFEST.json`` (with fresh sha256
+pins and expected node/edge counts).  Fully deterministic: running it twice
+produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.graphs.topologies import (  # noqa: E402
+    data_dir, load_topology, sha256_of,
+)
+
+OUT_DIR = data_dir()
+
+
+def _as_level_edges(rng: np.random.Generator, n: int = 700):
+    """Preferential-attachment AS graph with sparse, shuffled AS numbers.
+
+    Real AS numbers are non-contiguous (the mini file spans the 16-bit ASN
+    space) — the parser's relabeling path has to earn its keep.
+    """
+    import networkx as nx
+
+    g = nx.barabasi_albert_graph(n, 2, seed=int(rng.integers(0, 2**31 - 1)))
+    # a sprinkling of peering edges between mid-degree ASes
+    nodes = sorted(g.nodes(), key=g.degree, reverse=True)
+    mid = nodes[n // 10: n // 2]
+    for _ in range(n // 10):
+        a, b = rng.choice(len(mid), size=2, replace=False)
+        g.add_edge(mid[int(a)], mid[int(b)])
+    asn = rng.permutation(np.arange(1, 65000))[:n] + 1
+    degree = dict(g.degree())
+    lines = []
+    for u, v in sorted(g.edges()):
+        # providers are the higher-degree endpoint; ties peer
+        du, dv = degree[u], degree[v]
+        if du == dv:
+            rel = 0
+        elif du > dv:
+            rel = -1
+            u, v = v, u  # as-rel lists <customer>|<provider>|-1 as p2c from col1? keep convention <as1>|<as2>|-1 meaning as1 is customer
+        else:
+            rel = -1
+        lines.append(f"{asn[u]}|{asn[v]}|{rel}")
+    header = [
+        "# miniature AS-relationship snapshot (stand-in, CAIDA as-rel format)",
+        "# source format: https://www.caida.org/catalog/datasets/as-relationships/",
+        "# <as1>|<as2>|<relationship>  (-1 = customer-provider, 0 = peer)",
+    ]
+    return "\n".join(header + lines) + "\n"
+
+
+def _rocketfuel_edges(rng: np.random.Generator, num_pops: int = 40,
+                      routers_per_pop: int = 8):
+    """Weighted ISP backbone: POP meshes + inter-POP links, string ids."""
+    cities = [f"pop{p:02d}r{r}" for p in range(num_pops)
+              for r in range(routers_per_pop)]
+    lines = []
+    seen = set()
+
+    def add(u: str, v: str, w: float):
+        key = (u, v) if u < v else (v, u)
+        if key not in seen and u != v:
+            seen.add(key)
+            lines.append(f"{u} {v} {w:.1f}")
+
+    # intra-POP: cheap ring + chords
+    for p in range(num_pops):
+        pop = cities[p * routers_per_pop:(p + 1) * routers_per_pop]
+        for i in range(len(pop)):
+            add(pop[i], pop[(i + 1) % len(pop)], float(rng.integers(1, 5)))
+        for _ in range(routers_per_pop // 2):
+            i, j = rng.choice(routers_per_pop, size=2, replace=False)
+            add(pop[int(i)], pop[int(j)], float(rng.integers(1, 5)))
+    # inter-POP backbone: ring over POPs plus long-haul shortcuts, heavier
+    for p in range(num_pops):
+        q = (p + 1) % num_pops
+        add(cities[p * routers_per_pop], cities[q * routers_per_pop],
+            float(rng.integers(20, 100)))
+    for _ in range(num_pops):
+        p, q = rng.choice(num_pops, size=2, replace=False)
+        add(cities[int(p) * routers_per_pop + 1],
+            cities[int(q) * routers_per_pop + 1],
+            float(rng.integers(20, 100)))
+    header = [
+        "# miniature ISP map (stand-in, Rocketfuel inferred-weights format)",
+        "# <router> <router> <igp-weight>",
+    ]
+    return "\n".join(header + lines) + "\n"
+
+
+def _road_gr(rng: np.random.Generator, rows: int = 28, cols: int = 32):
+    """Planar road grid with holes and perturbed travel times, DIMACS .gr."""
+    def nid(r, c):
+        return r * cols + c + 1  # 1-indexed
+
+    keep = rng.random((rows, cols)) > 0.06  # ~6% of junctions closed
+    arcs = []
+    for r in range(rows):
+        for c in range(cols):
+            if not keep[r, c]:
+                continue
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols and keep[rr, cc]:
+                    w = int(rng.integers(40, 400))
+                    arcs.append((nid(r, c), nid(rr, cc), w))
+                    arcs.append((nid(rr, cc), nid(r, c), w))
+    n = rows * cols
+    lines = [
+        "c miniature road network (stand-in, 9th DIMACS challenge .gr format)",
+        "c http://www.diag.uniroma1.it/challenge9/format.shtml",
+        f"p sp {n} {len(arcs)}",
+    ]
+    lines += [f"a {u} {v} {w}" for u, v, w in arcs]
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    specs = {
+        "caida-as-mini": {
+            "file": "caida-as-mini.as-rel.txt",
+            "format": "caida-aslinks",
+            "text": _as_level_edges(np.random.default_rng(20060102)),
+            "upstream": "CAIDA AS Relationships dataset "
+                        "(https://www.caida.org/catalog/datasets/as-relationships/)",
+            "snapshot_date": "stand-in",
+        },
+        "rocketfuel-mini": {
+            "file": "rocketfuel-mini.weights.txt",
+            "format": "rocketfuel-weights",
+            "text": _rocketfuel_edges(np.random.default_rng(1221)),
+            "upstream": "Rocketfuel ISP maps, inferred link weights "
+                        "(https://research.cs.washington.edu/networking/rocketfuel/)",
+            "snapshot_date": "stand-in",
+        },
+        "road-mini": {
+            "file": "road-mini.gr",
+            "format": "dimacs-gr",
+            "text": _road_gr(np.random.default_rng(9)),
+            "upstream": "9th DIMACS Implementation Challenge road networks "
+                        "(http://www.diag.uniroma1.it/challenge9/)",
+            "snapshot_date": "stand-in",
+        },
+    }
+    manifest = {}
+    for name, spec in specs.items():
+        path = os.path.join(OUT_DIR, spec["file"])
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(spec["text"])
+        manifest[name] = {
+            "file": spec["file"],
+            "format": spec["format"],
+            "sha256": sha256_of(path),
+            "upstream": spec["upstream"],
+            "snapshot_date": spec["snapshot_date"],
+            "provenance": "deterministic miniature stand-in in the upstream "
+                          "wire format, generated by "
+                          "tools/make_topology_snapshots.py; replace with a "
+                          "full download and re-pin sha256/nodes/edges to "
+                          "run the real dataset",
+        }
+    # write a first manifest without shape pins, load through the real
+    # parsers, then pin the measured node/edge counts
+    manifest_path = os.path.join(OUT_DIR, "MANIFEST.json")
+    with open(manifest_path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name in manifest:
+        graph = load_topology(name)
+        manifest[name]["nodes"] = graph.n
+        manifest[name]["edges"] = graph.num_edges
+        print(f"{name:18s} n={graph.n:5d} m={graph.num_edges:5d} "
+              f"sha256={manifest[name]['sha256'][:12]}...")
+    with open(manifest_path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {manifest_path}")
+
+
+if __name__ == "__main__":
+    main()
